@@ -1,0 +1,55 @@
+// Command gtbench runs the reproduction experiments (E1–E10 in
+// DESIGN.md) and prints their result tables.
+//
+// Usage:
+//
+//	gtbench [-e E1,E3] [-seed N] [-trials N] [-quick] [-csv DIR] [-list]
+//
+// With no -e flag every experiment runs, in order. -csv additionally
+// writes each table as a CSV file into DIR for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		experiments = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		seed        = flag.Uint64("seed", 20010621, "master seed (default: the SPAA 2001 conference date)")
+		trials      = flag.Int("trials", 0, "override per-experiment trial counts")
+		quick       = flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
+		csvDir      = flag.String("csv", "", "directory to write per-table CSV files")
+		list        = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var ids []string
+	if *experiments != "" {
+		for _, id := range strings.Split(*experiments, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	cfg := harness.Config{
+		Seed:   *seed,
+		Trials: *trials,
+		Quick:  *quick,
+		Out:    os.Stdout,
+	}
+	if err := harness.RunAndPrint(cfg, ids, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "gtbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Command streamgen writes synthetic stream files in the repository's
+// binary format, for use with cmd/unioncount and external tooling.
+//
+// Usage:
+//
+//	streamgen -o stream.gts -kind uniform -n 100000 -universe 50000 [-seed N]
+//	streamgen -o s.gts -kind zipf -n 100000 -universe 50000 -skew 1.2
+//	streamgen -o s.gts -kind sequential -n 100000
+//	streamgen -o site -kind overlap -sites 4 -n 100000 -universe 50000 -overlap 0.5
+//
+// The overlap kind writes one file per site (site0.gts, site1.gts, …)
+// with the given cross-site duplication probability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output path (required; prefix for -kind overlap)")
+		kind     = flag.String("kind", "uniform", "uniform | zipf | sequential | overlap")
+		n        = flag.Int("n", 100000, "items per stream")
+		universe = flag.Uint64("universe", 50000, "label universe size (uniform/zipf; per-region for overlap)")
+		skew     = flag.Float64("skew", 1.0, "zipf skew s")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		sites    = flag.Int("sites", 4, "site count (overlap)")
+		overlap  = flag.Float64("overlap", 0.5, "probability an item comes from the shared core (overlap)")
+		valueMod = flag.Uint64("values", 0, "if > 0, attach value = label % values + 1 to each item")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "streamgen: -o is required")
+		os.Exit(2)
+	}
+
+	withValues := func(src stream.Source) stream.Source {
+		if *valueMod == 0 {
+			return src
+		}
+		m := *valueMod
+		return stream.NewWithValues(src, func(l uint64) uint64 { return l%m + 1 })
+	}
+
+	write := func(path string, src stream.Source) {
+		if err := stream.WriteFile(path, withValues(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "streamgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d items)\n", path, stream.Count(src))
+	}
+
+	switch *kind {
+	case "uniform":
+		write(*out, stream.NewUniform(*universe, *n, *seed))
+	case "zipf":
+		write(*out, stream.NewZipf(*universe, *n, *skew, *seed))
+	case "sequential":
+		write(*out, stream.NewSequential(*n))
+	case "overlap":
+		cfg := stream.OverlapConfig{
+			Sites: *sites, PerSite: *n,
+			CoreSize: *universe, PrivateSize: *universe,
+			Overlap: *overlap, Seed: *seed,
+		}
+		for i, src := range cfg.Build() {
+			write(fmt.Sprintf("%s%d.gts", *out, i), src)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "streamgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: estimate the number of distinct labels in the union of
+// two streams, exchanging only one small message per party.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/unionstream"
+)
+
+func main() {
+	// Both parties agree on options up front — the seed is the only
+	// coordination the scheme needs.
+	opts := unionstream.Options{Epsilon: 0.05, Delta: 0.01, Seed: 42}
+
+	alice, err := unionstream.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := unionstream.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice sees labels 0..59999; Bob sees 40000..99999. They share
+	// 20000 labels, so the union has exactly 100000 distinct labels.
+	for x := uint64(0); x < 60_000; x++ {
+		alice.Add(x)
+		alice.Add(x) // duplicates never change the answer
+	}
+	for x := uint64(40_000); x < 100_000; x++ {
+		bob.Add(x)
+	}
+
+	// Bob's entire communication is one sketch.
+	msg, err := bob.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob's message: %d bytes (vs %d bytes to ship his 60000 labels)\n",
+		len(msg), 60_000*8)
+
+	fromBob, err := unionstream.Decode(msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.Merge(fromBob); err != nil {
+		log.Fatal(err)
+	}
+
+	est := alice.DistinctCount()
+	fmt.Printf("estimated distinct labels in the union: %.0f (truth: 100000, error %+.2f%%)\n",
+		est, 100*(est-100_000)/100_000)
+
+	// The same merged sample answers predicate queries after the fact.
+	even := alice.CountWhere(func(label uint64) bool { return label%2 == 0 })
+	fmt.Printf("estimated distinct even labels:         %.0f (truth: 50000)\n", even)
+}

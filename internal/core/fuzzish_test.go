@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// TestUnmarshalRandomBytesNeverPanics hammers the decoders with random
+// garbage and mutated valid encodings: they must return errors, never
+// panic, and never leave a half-valid sampler that later crashes.
+func TestUnmarshalRandomBytesNeverPanics(t *testing.T) {
+	r := hashing.NewXoshiro256(99)
+	valid := buildSampler(5, 2000)
+	enc, err := valid.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		var data []byte
+		if trial%2 == 0 {
+			// Pure garbage of random length.
+			data = make([]byte, r.Intn(200))
+			for i := range data {
+				data[i] = byte(r.Uint64())
+			}
+		} else {
+			// Valid encoding with a few random byte flips.
+			data = append([]byte(nil), enc...)
+			for k := 0; k < 1+r.Intn(4); k++ {
+				data[r.Intn(len(data))] = byte(r.Uint64())
+			}
+		}
+		var s Sampler
+		if err := s.UnmarshalBinary(data); err == nil {
+			// A mutation may legitimately decode; the result must be
+			// usable without panicking.
+			s.Process(123)
+			_ = s.EstimateDistinct()
+			if _, err := s.MarshalBinary(); err != nil {
+				t.Fatalf("trial %d: re-encode of decoded sketch failed: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestEstimatorUnmarshalRandomBytesNeverPanics(t *testing.T) {
+	r := hashing.NewXoshiro256(7)
+	e := NewEstimator(EstimatorConfig{Capacity: 32, Copies: 3, Seed: 1})
+	for x := uint64(0); x < 2000; x++ {
+		e.Process(x)
+	}
+	enc, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), enc...)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			data[r.Intn(len(data))] = byte(r.Uint64())
+		}
+		var d Estimator
+		if err := d.UnmarshalBinary(data); err == nil {
+			d.Process(5)
+			_ = d.EstimateDistinct()
+		}
+	}
+}

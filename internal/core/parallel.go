@@ -1,0 +1,115 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel batch processing.
+//
+// Because a sampler's state is a pure function of the distinct label
+// set and merging equals union processing *exactly* (see Merge), one
+// logical stream can be sharded across CPU cores: each worker folds
+// its shard into a private coordinated sampler, and the merged result
+// is bit-for-bit identical to sequential processing. This is the
+// multicore dividend of the paper's distributed design — parallelism
+// inside one machine is just the t-party protocol with zero-cost
+// messages.
+
+// ProcessSlice folds a batch of labels into the sampler using up to
+// workers goroutines (workers <= 0 selects GOMAXPROCS). The final
+// state is identical to calling Process on each label sequentially.
+func (s *Sampler) ProcessSlice(labels []uint64, workers int) {
+	shards := shardBounds(len(labels), normalizeWorkers(workers, len(labels)))
+	if len(shards) <= 1 {
+		for _, l := range labels {
+			s.Process(l)
+		}
+		return
+	}
+	parts := make([]*Sampler, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			p := NewSampler(s.cfg)
+			for _, l := range labels[lo:hi] {
+				p.Process(l)
+			}
+			parts[i] = p
+		}(i, sh[0], sh[1])
+	}
+	wg.Wait()
+	for _, p := range parts {
+		// Merge cannot fail: the parts share s's configuration.
+		if err := s.Merge(p); err != nil {
+			panic("core: ProcessSlice merge: " + err.Error())
+		}
+	}
+}
+
+// ProcessSlice folds a batch of labels into every copy of the
+// estimator using up to workers goroutines (workers <= 0 selects
+// GOMAXPROCS). Each (copy, shard) pair runs independently, so the
+// available parallelism is copies × shards. The final state is
+// identical to sequential Process calls.
+func (e *Estimator) ProcessSlice(labels []uint64, workers int) {
+	w := normalizeWorkers(workers, len(labels))
+	if w <= 1 {
+		for _, l := range labels {
+			e.Process(l)
+		}
+		return
+	}
+	// Parallelize across copies first (no merge needed), then across
+	// shards within a copy when workers exceed copies.
+	perCopy := w / len(e.copies)
+	if perCopy < 1 {
+		perCopy = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, w)
+	for _, c := range e.copies {
+		wg.Add(1)
+		go func(c *Sampler) {
+			defer wg.Done()
+			sem <- struct{}{}
+			c.ProcessSlice(labels, perCopy)
+			<-sem
+		}(c)
+	}
+	wg.Wait()
+}
+
+func normalizeWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// shardBounds splits [0, n) into w near-equal [lo, hi) ranges.
+func shardBounds(n, w int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

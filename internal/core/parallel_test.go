@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func randomLabels(n int, seed uint64) []uint64 {
+	r := hashing.NewXoshiro256(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64n(uint64(n))
+	}
+	return out
+}
+
+func TestProcessSliceMatchesSequential(t *testing.T) {
+	labels := randomLabels(100_000, 5)
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		cfg := Config{Capacity: 512, Seed: 9}
+		serial := NewSampler(cfg)
+		for _, l := range labels {
+			serial.Process(l)
+		}
+		parallel := NewSampler(cfg)
+		parallel.ProcessSlice(labels, workers)
+		a, _ := serial.MarshalBinary()
+		b, _ := parallel.MarshalBinary()
+		if string(a) != string(b) {
+			t.Fatalf("workers=%d: parallel state differs from sequential", workers)
+		}
+	}
+}
+
+func TestProcessSliceEmptyAndTiny(t *testing.T) {
+	s := NewSampler(Config{Capacity: 8, Seed: 1})
+	s.ProcessSlice(nil, 4)
+	if s.Len() != 0 {
+		t.Error("empty slice changed state")
+	}
+	s.ProcessSlice([]uint64{7}, 16)
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after single insert", s.Len())
+	}
+}
+
+func TestProcessSliceIncremental(t *testing.T) {
+	// ProcessSlice must compose with prior sequential state.
+	cfg := Config{Capacity: 128, Seed: 3}
+	labels := randomLabels(50_000, 7)
+	serial := NewSampler(cfg)
+	for _, l := range labels {
+		serial.Process(l)
+	}
+	mixed := NewSampler(cfg)
+	for _, l := range labels[:10_000] {
+		mixed.Process(l)
+	}
+	mixed.ProcessSlice(labels[10_000:], 8)
+	a, _ := serial.MarshalBinary()
+	b, _ := mixed.MarshalBinary()
+	if string(a) != string(b) {
+		t.Error("incremental parallel processing diverged")
+	}
+}
+
+func TestEstimatorProcessSliceMatchesSequential(t *testing.T) {
+	labels := randomLabels(60_000, 11)
+	cfg := EstimatorConfig{Capacity: 256, Copies: 5, Seed: 13}
+	serial := NewEstimator(cfg)
+	for _, l := range labels {
+		serial.Process(l)
+	}
+	for _, workers := range []int{0, 1, 4, 32} {
+		parallel := NewEstimator(cfg)
+		parallel.ProcessSlice(labels, workers)
+		a, _ := serial.MarshalBinary()
+		b, _ := parallel.MarshalBinary()
+		if string(a) != string(b) {
+			t.Fatalf("workers=%d: estimator parallel state differs", workers)
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	cases := []struct {
+		n, w int
+	}{
+		{0, 4}, {1, 4}, {10, 3}, {10, 10}, {10, 20}, {1000, 7},
+	}
+	for _, c := range cases {
+		shards := shardBounds(c.n, c.w)
+		covered := 0
+		prevHi := 0
+		for _, sh := range shards {
+			if sh[0] != prevHi {
+				t.Fatalf("n=%d w=%d: gap at %d", c.n, c.w, sh[0])
+			}
+			if sh[1] <= sh[0] {
+				t.Fatalf("n=%d w=%d: empty shard", c.n, c.w)
+			}
+			covered += sh[1] - sh[0]
+			prevHi = sh[1]
+		}
+		if covered != c.n {
+			t.Fatalf("n=%d w=%d: covered %d", c.n, c.w, covered)
+		}
+	}
+}

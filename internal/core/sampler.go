@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// RaisePolicy selects how a Sampler raises its level on overflow. Both
+// policies reach the same state — the smallest level at or above the
+// current one whose surviving set fits in Capacity (a property the
+// tests verify) — and differ only in how many passes over the sample
+// they make, so this is a performance knob, not a semantic one.
+type RaisePolicy uint8
+
+const (
+	// RaiseIncrement raises the level one step at a time, filtering
+	// after each step. This is the policy as described in the paper.
+	RaiseIncrement RaisePolicy = iota
+	// RaiseJump computes a level histogram of the current sample and
+	// jumps directly to the smallest level that fits, filtering once.
+	RaiseJump
+)
+
+// String implements fmt.Stringer.
+func (p RaisePolicy) String() string {
+	switch p {
+	case RaiseIncrement:
+		return "increment"
+	case RaiseJump:
+		return "jump"
+	default:
+		return fmt.Sprintf("RaisePolicy(%d)", uint8(p))
+	}
+}
+
+// Config parameterizes a Sampler. Two samplers can be merged iff their
+// Seed, Capacity and Family match exactly; distributed parties must
+// therefore agree on a Config before observing their streams — the
+// only coordination the scheme requires.
+type Config struct {
+	// Capacity is the maximum number of distinct labels retained,
+	// c = Θ(1/ε²). Use CapacityForEpsilon to derive it from a target
+	// relative error. Must be ≥ 1.
+	Capacity int
+	// Seed determines the shared level hash function.
+	Seed uint64
+	// Family selects the hash family (default FamilyPairwise).
+	Family FamilyKind
+	// Raise selects the overflow policy (default RaiseIncrement).
+	Raise RaisePolicy
+}
+
+// entry is one retained distinct label.
+type entry struct {
+	weight uint64 // the label's value (1 for plain distinct counting)
+	level  int32  // cached ℓ(label), so raises need no re-hashing
+}
+
+// Sampler maintains a coordinated adaptive sample of the distinct
+// labels in a stream, per Gibbons–Tirthapura. The zero value is not
+// usable; construct with NewSampler.
+//
+// Samplers are not safe for concurrent use; in the distributed-streams
+// model each party owns its sampler exclusively.
+type Sampler struct {
+	cfg     Config
+	hash    hashing.Family
+	level   int
+	entries map[uint64]entry
+	// weightSum caches Σ weights of retained entries so estimates are
+	// O(1); it is maintained on every insert/discard.
+	weightSum uint64
+}
+
+// NewSampler returns an empty sampler for the given configuration.
+// It panics if cfg.Capacity < 1 or the family is unknown, since a
+// mis-parameterized sketch is a programming error, not a runtime
+// condition.
+func NewSampler(cfg Config) *Sampler {
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("core: sampler capacity must be >= 1, got %d", cfg.Capacity))
+	}
+	if !cfg.Family.valid() {
+		panic(fmt.Sprintf("core: unknown hash family %d", cfg.Family))
+	}
+	return &Sampler{
+		cfg:     cfg,
+		hash:    cfg.Family.New(cfg.Seed),
+		entries: make(map[uint64]entry, cfg.Capacity+1),
+	}
+}
+
+// Config returns the sampler's configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// Level returns the sampler's current sampling level; the sample
+// contains exactly the distinct labels with ℓ(label) ≥ Level, each of
+// which the scheme retains with probability 2^-Level.
+func (s *Sampler) Level() int { return s.level }
+
+// Len returns the number of distinct labels currently retained.
+func (s *Sampler) Len() int { return len(s.entries) }
+
+// Process observes one occurrence of label. Duplicate occurrences are
+// free: the sampler's state is a function of the distinct label set
+// only.
+func (s *Sampler) Process(label uint64) {
+	s.ProcessWeighted(label, 1)
+}
+
+// ProcessWeighted observes label carrying a value. The
+// duplicate-insensitive model requires every occurrence of a label to
+// carry the same value; ProcessWeighted keeps the first value it
+// retains and ignores repeats, matching the paper's "each label has a
+// fixed associated value" semantics.
+func (s *Sampler) ProcessWeighted(label, value uint64) {
+	lvl := hashing.GeometricLevel(s.hash.Hash(label))
+	if lvl < s.level {
+		return // below the sample's threshold: discarded unseen
+	}
+	if _, ok := s.entries[label]; ok {
+		return // duplicate of a retained label
+	}
+	s.entries[label] = entry{weight: value, level: int32(lvl)}
+	s.weightSum += value
+	if len(s.entries) > s.cfg.Capacity {
+		s.raise()
+	}
+}
+
+// raise increases the level until the sample fits in Capacity,
+// discarding entries below the new level. If the sample still
+// overflows at the maximum level (possible only under adversarial hash
+// collisions far beyond the experiments' regimes), the sampler keeps
+// the overflow rather than drop coordinated entries.
+func (s *Sampler) raise() {
+	switch s.cfg.Raise {
+	case RaiseJump:
+		s.raiseJump()
+	default:
+		s.raiseIncrement()
+	}
+}
+
+func (s *Sampler) raiseIncrement() {
+	for len(s.entries) > s.cfg.Capacity && s.level < hashing.MaxLevel {
+		s.level++
+		for label, e := range s.entries {
+			if int(e.level) < s.level {
+				delete(s.entries, label)
+				s.weightSum -= e.weight
+			}
+		}
+	}
+}
+
+func (s *Sampler) raiseJump() {
+	if len(s.entries) <= s.cfg.Capacity {
+		return
+	}
+	// survivors[i] = #entries with level >= i, for i in (level, MaxLevel].
+	var hist [hashing.MaxLevel + 2]int
+	for _, e := range s.entries {
+		hist[e.level]++
+	}
+	// Find the smallest level above the current one whose surviving
+	// set fits. If none fits even at MaxLevel, park there (see raise).
+	suffix := 0
+	target := hashing.MaxLevel
+	for i := hashing.MaxLevel; i > s.level; i-- {
+		suffix += hist[i]
+		if suffix <= s.cfg.Capacity {
+			target = i
+		}
+	}
+	s.level = target
+	for label, e := range s.entries {
+		if int(e.level) < s.level {
+			delete(s.entries, label)
+			s.weightSum -= e.weight
+		}
+	}
+}
+
+// Merge folds other into s, after which s is a coordinated sample of
+// the union of the two streams. It returns ErrMismatch if the two
+// samplers do not share an identical (Seed, Capacity, Family)
+// configuration — the coordination precondition of the paper.
+// The raise policy may differ (it does not affect semantics).
+func (s *Sampler) Merge(other *Sampler) error {
+	if other == nil {
+		return fmt.Errorf("%w: nil sampler", ErrMismatch)
+	}
+	if s.cfg.Seed != other.cfg.Seed || s.cfg.Capacity != other.cfg.Capacity || s.cfg.Family != other.cfg.Family {
+		return fmt.Errorf("%w: %+v vs %+v", ErrMismatch, s.describe(), other.describe())
+	}
+	if other.level > s.level {
+		s.level = other.level
+		for label, e := range s.entries {
+			if int(e.level) < s.level {
+				delete(s.entries, label)
+				s.weightSum -= e.weight
+			}
+		}
+	}
+	for label, e := range other.entries {
+		if int(e.level) < s.level {
+			continue
+		}
+		if _, ok := s.entries[label]; ok {
+			continue
+		}
+		s.entries[label] = e
+		s.weightSum += e.weight
+	}
+	if len(s.entries) > s.cfg.Capacity {
+		s.raise()
+	}
+	return nil
+}
+
+func (s *Sampler) describe() string {
+	return fmt.Sprintf("{seed:%d cap:%d family:%s}", s.cfg.Seed, s.cfg.Capacity, s.cfg.Family)
+}
+
+// EstimateDistinct returns the estimate of the number of distinct
+// labels observed: |sample| · 2^level.
+func (s *Sampler) EstimateDistinct() float64 {
+	return float64(len(s.entries)) * pow2(s.level)
+}
+
+// EstimateSum returns the estimate of the sum of values over distinct
+// labels: (Σ sampled values) · 2^level. With values all 1 this equals
+// EstimateDistinct.
+func (s *Sampler) EstimateSum() float64 {
+	return float64(s.weightSum) * pow2(s.level)
+}
+
+// EstimateCountWhere returns the estimate of the number of distinct
+// labels satisfying pred, computed from the coordinated sample:
+// |{x ∈ sample : pred(x)}| · 2^level. The relative error guarantee
+// degrades with the predicate's selectivity (experiment E9), exactly
+// as for any sample-based estimator.
+func (s *Sampler) EstimateCountWhere(pred func(label uint64) bool) float64 {
+	n := 0
+	for label := range s.entries {
+		if pred(label) {
+			n++
+		}
+	}
+	return float64(n) * pow2(s.level)
+}
+
+// EstimateSumWhere is EstimateCountWhere weighted by the labels'
+// values.
+func (s *Sampler) EstimateSumWhere(pred func(label uint64) bool) float64 {
+	var sum uint64
+	for label, e := range s.entries {
+		if pred(label) {
+			sum += e.weight
+		}
+	}
+	return float64(sum) * pow2(s.level)
+}
+
+// Sample returns the retained labels (unordered). The slice is a copy.
+func (s *Sampler) Sample() []uint64 {
+	out := make([]uint64, 0, len(s.entries))
+	for label := range s.entries {
+		out = append(out, label)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the sampler.
+func (s *Sampler) Clone() *Sampler {
+	c := NewSampler(s.cfg)
+	c.level = s.level
+	c.weightSum = s.weightSum
+	for label, e := range s.entries {
+		c.entries[label] = e
+	}
+	return c
+}
+
+// Reset returns the sampler to its empty state, keeping its
+// configuration (and hence its coordination seed).
+func (s *Sampler) Reset() {
+	s.level = 0
+	s.weightSum = 0
+	clear(s.entries)
+}
+
+// pow2 returns 2^i as a float64 for 0 <= i <= MaxLevel.
+func pow2(i int) float64 {
+	return float64(uint64(1) << uint(i))
+}

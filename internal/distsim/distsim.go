@@ -1,0 +1,137 @@
+// Package distsim simulates the paper's distributed-streams model:
+// t parties ("sites") each observe their own stream using small
+// workspace and communicate exactly once — after their entire stream —
+// by sending one message to a coordinator (the "referee"), which must
+// then estimate aggregate functions over the set union of all streams.
+// This mirrors the network-monitoring set-up the paper cites: one
+// monitor per link, sketches collected afterwards.
+//
+// The simulator runs sites as goroutines, transports messages over a
+// channel, and accounts every byte sent, so experiments can report
+// both estimation error and communication cost. Because all the
+// sketches in this repository merge commutatively and associatively,
+// the coordinator's result is independent of message arrival order —
+// a property the tests verify by comparing concurrent and serial runs.
+package distsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// SiteSketch is the per-site state of a protocol: it observes the
+// site's stream one item at a time and, at end of stream, produces the
+// single message the site sends to the coordinator.
+type SiteSketch interface {
+	Process(it stream.Item)
+	// Message encodes the site's end-of-stream communication.
+	Message() ([]byte, error)
+}
+
+// Coordinator is the referee-side state: it absorbs site messages (in
+// any order) and answers aggregate queries over the union.
+type Coordinator interface {
+	Absorb(msg []byte) error
+	// EstimateDistinct returns the estimated number of distinct labels
+	// in the union of all absorbed streams.
+	EstimateDistinct() float64
+	// EstimateSum returns the estimated sum of values over distinct
+	// labels of the union, or NaN if the protocol does not support
+	// value sums.
+	EstimateSum() float64
+}
+
+// Protocol is one complete distributed estimation scheme.
+type Protocol interface {
+	// Name identifies the protocol in experiment tables.
+	Name() string
+	// NewSite returns the sketch site i runs. Implementations derive
+	// any per-site state from the protocol's shared configuration so
+	// that sites are coordinated (or deliberately not, for the
+	// uncoordinated baseline).
+	NewSite(site int) SiteSketch
+	// NewCoordinator returns an empty referee state.
+	NewCoordinator() Coordinator
+}
+
+// Stats records the measurable costs of one protocol run.
+type Stats struct {
+	Sites          int
+	ItemsProcessed int64
+	Messages       int
+	BytesSent      int64 // total communication, all sites
+	MaxSiteBytes   int   // largest single site message
+}
+
+// Result is the outcome of one distributed run.
+type Result struct {
+	DistinctEstimate float64
+	SumEstimate      float64
+	Stats            Stats
+}
+
+// Run executes the one-shot protocol over the given per-site sources.
+// When concurrent is true, sites process their streams in parallel
+// goroutines; the coordinator absorbs messages in arrival order.
+func Run(p Protocol, sources []stream.Source, concurrent bool) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("distsim: no sources")
+	}
+	type siteMsg struct {
+		site  int
+		data  []byte
+		items int64
+		err   error
+	}
+
+	runSite := func(i int, src stream.Source) siteMsg {
+		sk := p.NewSite(i)
+		var items int64
+		stream.Feed(src, func(it stream.Item) {
+			sk.Process(it)
+			items++
+		})
+		data, err := sk.Message()
+		return siteMsg{site: i, data: data, items: items, err: err}
+	}
+
+	msgs := make(chan siteMsg, len(sources))
+	if concurrent {
+		var wg sync.WaitGroup
+		for i, src := range sources {
+			wg.Add(1)
+			go func(i int, src stream.Source) {
+				defer wg.Done()
+				msgs <- runSite(i, src)
+			}(i, src)
+		}
+		wg.Wait()
+	} else {
+		for i, src := range sources {
+			msgs <- runSite(i, src)
+		}
+	}
+	close(msgs)
+
+	coord := p.NewCoordinator()
+	res := &Result{Stats: Stats{Sites: len(sources)}}
+	for m := range msgs {
+		if m.err != nil {
+			return nil, fmt.Errorf("distsim: site %d: %w", m.site, m.err)
+		}
+		if err := coord.Absorb(m.data); err != nil {
+			return nil, fmt.Errorf("distsim: coordinator absorbing site %d: %w", m.site, err)
+		}
+		res.Stats.ItemsProcessed += m.items
+		res.Stats.Messages++
+		res.Stats.BytesSent += int64(len(m.data))
+		if len(m.data) > res.Stats.MaxSiteBytes {
+			res.Stats.MaxSiteBytes = len(m.data)
+		}
+	}
+	res.DistinctEstimate = coord.EstimateDistinct()
+	res.SumEstimate = coord.EstimateSum()
+	return res, nil
+}

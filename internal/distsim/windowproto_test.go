@@ -1,0 +1,150 @@
+package distsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// windowSources builds t timestamped site streams (timestamp in
+// Item.Value) over a shared timeline, and returns the exact distinct
+// count of the union since start.
+func windowSources(t int, perSite int, seed uint64, start uint64) ([]stream.Source, int) {
+	srcs := make([]stream.Source, t)
+	truth := exact.NewDistinct()
+	for site := 0; site < t; site++ {
+		r := hashing.NewXoshiro256(hashing.Mix64(seed + uint64(site)))
+		items := make([]stream.Item, perSite)
+		for ts := 0; ts < perSite; ts++ {
+			label := r.Uint64n(uint64(perSite) / 2)
+			items[ts] = stream.Item{Label: label, Value: uint64(ts)}
+			if uint64(ts) >= start {
+				truth.Process(label)
+			}
+		}
+		srcs[site] = stream.FromSlice(items)
+	}
+	return srcs, truth.Count()
+}
+
+func TestWindowProtocolAccuracy(t *testing.T) {
+	const perSite = 20000
+	const start = 15000
+	srcs, truth := windowSources(4, perSite, 3, start)
+	p := WindowGT{
+		Config:     window.Config{Capacity: 2048, Seed: 7, MaxLevel: 20},
+		QueryStart: start,
+	}
+	res, err := Run(p, srcs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(res.DistinctEstimate-float64(truth)) / float64(truth)
+	if rel > 0.12 {
+		t.Errorf("windowed union est %.0f vs %d (rel %.3f)", res.DistinctEstimate, truth, rel)
+	}
+	if !math.IsNaN(res.SumEstimate) {
+		t.Error("window protocol should not report sums")
+	}
+	if res.Stats.BytesSent == 0 {
+		t.Error("no communication accounted")
+	}
+}
+
+func TestWindowProtocolConcurrentMatchesSerial(t *testing.T) {
+	srcs, _ := windowSources(8, 5000, 9, 4000)
+	p := WindowGT{
+		Config:     window.Config{Capacity: 512, Seed: 5, MaxLevel: 16},
+		QueryStart: 4000,
+	}
+	serial, err := Run(p, srcs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Run(p, srcs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.DistinctEstimate != conc.DistinctEstimate {
+		t.Errorf("concurrent %.0f != serial %.0f", conc.DistinctEstimate, serial.DistinctEstimate)
+	}
+}
+
+func TestWindowProtocolRicherQueries(t *testing.T) {
+	srcs, _ := windowSources(3, 10000, 11, 0)
+	p := WindowGT{Config: window.Config{Capacity: 1024, Seed: 13, MaxLevel: 18}}
+	coord := p.NewCoordinator().(*WindowCoordinator)
+	for i, src := range srcs {
+		site := p.NewSite(i)
+		stream.Feed(src, site.Process)
+		msg, err := site.Message()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Absorb(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if coord.LastTimestamp() != 9999 {
+		t.Errorf("LastTimestamp = %d", coord.LastTimestamp())
+	}
+	// Distinct-since must be monotone decreasing in start.
+	prev := math.Inf(1)
+	for _, start := range []uint64{0, 5000, 9000, 9990} {
+		v, err := coord.DistinctSince(start)
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		if v > prev {
+			t.Errorf("DistinctSince not monotone: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWindowProtocolSiteErrorPropagates(t *testing.T) {
+	// Out-of-order timestamps at a site must fail the run, not
+	// silently corrupt the estimate.
+	bad := stream.FromSlice([]stream.Item{
+		{Label: 1, Value: 10},
+		{Label: 2, Value: 5}, // goes back in time
+	})
+	p := WindowGT{Config: window.Config{Capacity: 64, Seed: 1, MaxLevel: 8}}
+	if _, err := Run(p, []stream.Source{bad}, false); err == nil {
+		t.Error("out-of-order site stream did not fail the run")
+	}
+}
+
+func TestWindowProtocolEmptyCoordinator(t *testing.T) {
+	c := WindowGT{}.NewCoordinator().(*WindowCoordinator)
+	if v, err := c.DistinctSince(0); err != nil || v != 0 {
+		t.Errorf("empty coordinator: %v, %v", v, err)
+	}
+	if c.LastTimestamp() != 0 {
+		t.Error("empty coordinator has a timestamp")
+	}
+	if err := c.Absorb([]byte("garbage")); err == nil {
+		t.Error("garbage absorbed")
+	}
+}
+
+func TestWindowProtocolUncoveredReportsMinusOne(t *testing.T) {
+	// Tiny capacity, huge history: the generic-interface estimate for
+	// an uncoverable window is the documented -1 sentinel.
+	srcs, _ := windowSources(1, 50000, 17, 0)
+	p := WindowGT{
+		Config:     window.Config{Capacity: 4, Seed: 3, MaxLevel: 2},
+		QueryStart: 0,
+	}
+	res, err := Run(p, srcs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctEstimate != -1 {
+		t.Errorf("uncovered window estimate = %v, want -1", res.DistinctEstimate)
+	}
+}

@@ -1,0 +1,172 @@
+// Package estimate provides the measurement plumbing shared by the
+// experiments: relative-error metrics, summary statistics over trial
+// ensembles, and a parallel trial runner that spreads independent
+// seeded trials across CPUs (each trial is a pure function of its
+// seed, so parallel and serial runs produce identical ensembles).
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RelErr returns |est - truth| / truth. truth must be nonzero; a zero
+// truth returns NaN for nonzero est and 0 for est == 0, so degenerate
+// cases surface rather than divide-by-zero panics.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// SignedRelErr returns (est - truth) / truth, preserving the direction
+// of the error (overcounting is positive). Same zero-truth handling as
+// RelErr.
+func SignedRelErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return (est - truth) / truth
+}
+
+// Summary holds order statistics of a trial ensemble.
+type Summary struct {
+	N                int
+	Mean, Stddev     float64
+	Min, Max         float64
+	Median, P90, P95 float64
+	P99              float64
+	FailureRate      float64 // fraction of trials exceeding the Fail threshold
+	FailThreshold    float64 // the threshold FailureRate was computed against (0 = unset)
+}
+
+// Summarize computes a Summary over vals. If failThreshold > 0,
+// FailureRate is the fraction of values strictly above it (the
+// empirical δ for an ε-threshold).
+func Summarize(vals []float64, failThreshold float64) Summary {
+	s := Summary{N: len(vals), FailThreshold: failThreshold}
+	if len(vals) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	failures := 0
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+		if failThreshold > 0 && v > failThreshold {
+			failures++
+		}
+	}
+	n := float64(len(sorted))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Stddev = math.Sqrt(variance)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	if failThreshold > 0 {
+		s.FailureRate = float64(failures) / n
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// slice by linear interpolation. It panics on an empty slice or a q
+// outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("estimate: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("estimate: quantile %v outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// TrialFunc runs one independent trial from a seed and returns its
+// measurement (typically a relative error). It must be a pure function
+// of the seed.
+type TrialFunc func(seed uint64) float64
+
+// RunTrials executes n independent trials with seeds derived from
+// baseSeed, in parallel across GOMAXPROCS workers, and returns the
+// measurements indexed by trial. The output is identical to a serial
+// run: trial i always uses the same derived seed and lands at index i.
+func RunTrials(n int, baseSeed uint64, f TrialFunc) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return 0, false
+		}
+		i := int(next)
+		next++
+		return i, true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				out[i] = f(trialSeed(baseSeed, i))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// trialSeed derives the seed for trial i. Exposed to tests via
+// TrialSeed.
+func trialSeed(baseSeed uint64, i int) uint64 {
+	x := baseSeed + 0x9e3779b97f4a7c15*uint64(i+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TrialSeed returns the seed RunTrials gives trial i under baseSeed,
+// so callers can reproduce a single interesting trial.
+func TrialSeed(baseSeed uint64, i int) uint64 { return trialSeed(baseSeed, i) }

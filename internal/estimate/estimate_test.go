@@ -1,0 +1,144 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %v", got)
+	}
+	if got := RelErr(5, 0); !math.IsNaN(got) {
+		t.Errorf("RelErr(5,0) = %v, want NaN", got)
+	}
+}
+
+func TestSignedRelErr(t *testing.T) {
+	if got := SignedRelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("over = %v", got)
+	}
+	if got := SignedRelErr(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("under = %v", got)
+	}
+	if got := SignedRelErr(0, 0); got != 0 {
+		t.Errorf("SignedRelErr(0,0) = %v", got)
+	}
+	if !math.IsNaN(SignedRelErr(1, 0)) {
+		t.Error("SignedRelErr(1,0) not NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.875, 4.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"q<0":   func() { Quantile([]float64{1}, -0.1) },
+		"q>1":   func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vals := []float64{0.05, 0.15, 0.10, 0.20, 0.30}
+	s := Summarize(vals, 0.18)
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-0.16) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Min != 0.05 || s.Max != 0.30 || s.Median != 0.15 {
+		t.Errorf("order stats: %+v", s)
+	}
+	if math.Abs(s.FailureRate-0.4) > 1e-12 { // 0.20 and 0.30 exceed 0.18
+		t.Errorf("FailureRate = %v", s.FailureRate)
+	}
+	if s.Stddev <= 0 {
+		t.Errorf("Stddev = %v", s.Stddev)
+	}
+	// Summarize must not mutate input order.
+	if vals[0] != 0.05 || vals[4] != 0.30 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 0.1)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeNoThreshold(t *testing.T) {
+	s := Summarize([]float64{1, 2}, 0)
+	if s.FailureRate != 0 || s.FailThreshold != 0 {
+		t.Errorf("threshold-free summary: %+v", s)
+	}
+}
+
+func TestRunTrialsDeterministicAndParallel(t *testing.T) {
+	f := func(seed uint64) float64 { return float64(seed % 1000) }
+	a := RunTrials(100, 42, f)
+	b := RunTrials(100, 42, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across runs", i)
+		}
+		if a[i] != f(TrialSeed(42, i)) {
+			t.Fatalf("trial %d seed mismatch", i)
+		}
+	}
+	c := RunTrials(100, 43, f)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("base seeds 42/43 collided on %d/100 trials", same)
+	}
+}
+
+func TestRunTrialsEdge(t *testing.T) {
+	if got := RunTrials(0, 1, func(uint64) float64 { return 1 }); got != nil {
+		t.Errorf("0 trials = %v", got)
+	}
+	if got := RunTrials(-5, 1, func(uint64) float64 { return 1 }); got != nil {
+		t.Errorf("-5 trials = %v", got)
+	}
+	if got := RunTrials(1, 1, func(uint64) float64 { return 7 }); len(got) != 1 || got[0] != 7 {
+		t.Errorf("1 trial = %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/sketch/bjkst"
+	"repro/internal/sketch/fm"
+	"repro/internal/sketch/kmv"
+	"repro/internal/sketch/ll"
+	"repro/internal/stream"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E4",
+		Title: "Space vs target accuracy ε",
+		Claim: "GT uses O(log(1/δ)/ε² · log m) bits per stream — measured here as serialized sketch bytes at each ε target, next to what the alternatives need for the same target.",
+		Run:   runE4,
+	})
+}
+
+// e4Sketch sizes a sketch for a target ε, runs it, and reports its
+// serialized size and achieved error.
+type e4Sketch struct {
+	name string
+	make func(eps float64, seed uint64) (process func(uint64), est func() float64, size func() int)
+}
+
+var e4Roster = []e4Sketch{
+	{
+		name: "gt (δ=0.05)",
+		make: func(eps float64, seed uint64) (func(uint64), func() float64, func() int) {
+			cfg := core.ConfigForAccuracy(eps, 0.05, seed)
+			e := core.NewEstimator(cfg)
+			return e.Process, e.EstimateDistinct, e.SizeBytes
+		},
+	},
+	{
+		name: "gt (1 copy)",
+		make: func(eps float64, seed uint64) (func(uint64), func() float64, func() int) {
+			s := core.NewSampler(core.Config{Capacity: core.CapacityForEpsilon(eps), Seed: seed})
+			return s.Process, s.EstimateDistinct, s.SizeBytes
+		},
+	},
+	{
+		name: "fm-strong",
+		make: func(eps float64, seed uint64) (func(uint64), func() float64, func() int) {
+			s := fm.New(fm.NumMapsForEpsilon(eps), seed)
+			return s.Process, s.Estimate, s.SizeBytes
+		},
+	},
+	{
+		name: "kmv",
+		make: func(eps float64, seed uint64) (func(uint64), func() float64, func() int) {
+			s := kmv.New(kmv.KForEpsilon(eps), seed)
+			return s.Process, s.Estimate, s.SizeBytes
+		},
+	},
+	{
+		name: "bjkst",
+		make: func(eps float64, seed uint64) (func(uint64), func() float64, func() int) {
+			s := bjkst.New(core.CapacityForEpsilon(eps), seed)
+			return s.Process, s.Estimate, s.SizeBytes
+		},
+	},
+	{
+		name: "hll-strong",
+		make: func(eps float64, seed uint64) (func(uint64), func() float64, func() int) {
+			s := ll.New(ll.NumRegsForEpsilon(eps), seed)
+			return s.Process, s.Estimate, s.SizeBytes
+		},
+	},
+}
+
+func runE4(cfg Config) ([]*Table, error) {
+	epsTargets := []float64{0.2, 0.1, 0.05, 0.02}
+	if cfg.Quick {
+		epsTargets = []float64{0.2, 0.1}
+	}
+	trials := cfg.trials(16)
+	truth := cfg.scale(500_000)
+
+	tbl := NewTable("e4_space_vs_epsilon",
+		"Serialized sketch bytes and achieved error per ε target",
+		"The paper's bound predicts GT space growing as 1/ε² (with a log m-bit constant per slot). HLL's registers are O(log log m) bits, so it is smaller at equal ε — it buys that with a stronger hashing assumption; BJKST sits between (fingerprints instead of labels).",
+		"eps_target", "sketch", "bytes(median)", "median_err", "p95_err")
+
+	for _, eps := range epsTargets {
+		for _, sk := range e4Roster {
+			var sizes []float64
+			errs := make([]float64, 0, trials)
+			for trial := 0; trial < trials; trial++ {
+				seed := estimate.TrialSeed(cfg.Seed^uint64(eps*1e4), trial)
+				process, est, size := sk.make(eps, seed)
+				stream.Feed(stream.NewSequential(truth), func(it stream.Item) { process(it.Label) })
+				errs = append(errs, estimate.RelErr(est(), float64(truth)))
+				sizes = append(sizes, float64(size()))
+			}
+			es := estimate.Summarize(errs, 0)
+			tbl.AddRow(F(eps, 2), sk.name, Bytes(int64(core.Median(sizes))), F(es.Median, 4), F(es.P95, 4))
+		}
+	}
+	return []*Table{tbl}, nil
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sketch/ams"
+	"repro/internal/sketch/bjkst"
+	"repro/internal/sketch/fm"
+	"repro/internal/sketch/kmv"
+	"repro/internal/sketch/ll"
+	"repro/internal/stream"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E5",
+		Title: "Per-item processing time",
+		Claim: "GT processing is O(1) expected amortized per item (one pairwise hash + a map probe); per-item cost should be flat in the stream length. (The root bench_test.go measures the same quantities under testing.B.)",
+		Run:   runE5,
+	})
+}
+
+func runE5(cfg Config) ([]*Table, error) {
+	n := cfg.scale(2_000_000)
+	universe := uint64(n)
+
+	type timedSketch struct {
+		name    string
+		process func(uint64)
+	}
+	gt := core.NewSampler(core.Config{Capacity: 1024, Seed: cfg.Seed})
+	gtEst := core.NewEstimator(core.EstimatorConfig{Capacity: 1024, Copies: 5, Seed: cfg.Seed})
+	fmS := fm.New(256, cfg.Seed)
+	amsS := ams.New(15, cfg.Seed)
+	kmvS := kmv.New(1024, cfg.Seed)
+	bjS := bjkst.New(1024, cfg.Seed)
+	llS := ll.New(1024, cfg.Seed)
+	roster := []timedSketch{
+		{"gt (1 copy, c=1024)", gt.Process},
+		{"gt (5 copies)", gtEst.Process},
+		{"fm-strong (m=256)", fmS.Process},
+		{"ams (15 copies)", amsS.Process},
+		{"kmv (k=1024)", kmvS.Process},
+		{"bjkst (c=1024)", bjS.Process},
+		{"hll-strong (m=1024)", llS.Process},
+	}
+
+	tbl := NewTable("e5_per_item_time",
+		"Wall-clock processing cost per item (uniform random labels)",
+		"ns/item includes hashing, sampling and any level raises, amortized over the stream. Multi-copy sketches scale linearly in copies, as the paper's time bound says.",
+		"sketch", "items", "ns_per_item", "million_items_per_sec")
+
+	// Pre-materialize the labels so generator cost is excluded.
+	labels := make([]uint64, n)
+	i := 0
+	stream.Feed(stream.NewUniform(universe, n, cfg.Seed^0xabc), func(it stream.Item) {
+		labels[i] = it.Label
+		i++
+	})
+
+	for _, sk := range roster {
+		start := time.Now()
+		for _, l := range labels {
+			sk.process(l)
+		}
+		elapsed := time.Since(start)
+		nsPerItem := float64(elapsed.Nanoseconds()) / float64(n)
+		tbl.AddRow(sk.name, I(n), F(nsPerItem, 1), F(1e3/nsPerItem, 1))
+	}
+
+	// Amortization sweep: GT cost per item across stream lengths. The
+	// claim is flatness: level raises are amortized, so per-item cost
+	// must not grow with n.
+	tbl2 := NewTable("e5_gt_amortization",
+		"GT per-item cost vs stream length (capacity 1024)",
+		"O(1) expected amortized: the ns/item column should be roughly flat as n grows 100x.",
+		"n", "ns_per_item")
+	for _, size := range []int{n / 100, n / 10, n} {
+		s := core.NewSampler(core.Config{Capacity: 1024, Seed: cfg.Seed ^ 0x77})
+		start := time.Now()
+		for _, l := range labels[:size] {
+			s.Process(l)
+		}
+		elapsed := time.Since(start)
+		tbl2.AddRow(I(size), F(float64(elapsed.Nanoseconds())/float64(size), 1))
+	}
+	return []*Table{tbl, tbl2}, nil
+}

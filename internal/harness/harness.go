@@ -1,0 +1,161 @@
+// Package harness hosts the reproduction experiments: each experiment
+// E1–E10 checks one claim of the paper (see DESIGN.md's per-experiment
+// index), generating its own workloads, running the relevant sketches
+// and protocols, and emitting result tables. cmd/gtbench is the CLI
+// front end; the root bench_test.go exposes each experiment as a
+// testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Config controls experiment scale so the same code serves full runs
+// (gtbench), benchmarks, and fast CI tests.
+type Config struct {
+	// Seed drives every generator and sketch; equal seeds reproduce
+	// results exactly.
+	Seed uint64
+	// Trials is the ensemble size for error measurements (0 = each
+	// experiment's default).
+	Trials int
+	// Quick shrinks workloads by roughly an order of magnitude for
+	// tests.
+	Quick bool
+	// Out receives progress and tables; nil means os.Stdout.
+	Out io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+// trials returns the configured ensemble size, defaulting to def (and
+// a quarter of def in Quick mode).
+func (c Config) trials(def int) int {
+	n := c.Trials
+	if n == 0 {
+		n = def
+		if c.Quick {
+			n = (def + 3) / 4
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// scale shrinks a workload size in Quick mode.
+func (c Config) scale(n int) int {
+	if c.Quick {
+		n /= 10
+		if n < 100 {
+			n = 100
+		}
+	}
+	return n
+}
+
+// Experiment is one registered reproduction experiment.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md ("E1" … "E10").
+	ID string
+	// Title names the table/figure being reproduced.
+	Title string
+	// Claim states the paper claim the experiment checks.
+	Claim string
+	// Run executes the experiment and returns its result tables.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+var experiments = map[string]Experiment{}
+
+// Register adds an experiment to the registry; it panics on duplicate
+// IDs (an init-time programming error).
+func Register(e Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment %s", e.ID))
+	}
+	experiments[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := experiments[id]
+	return e, ok
+}
+
+// All returns all experiments sorted by ID (E1, E2, …, E10).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(experiments))
+	for _, e := range experiments {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b) // E2 < E10
+		}
+		return a < b
+	})
+	return out
+}
+
+// RunAndPrint executes the experiments with the given IDs (nil = all),
+// printing tables to cfg.Out and, when csvDir is nonempty, writing one
+// CSV per table into it.
+func RunAndPrint(cfg Config, ids []string, csvDir string) error {
+	var todo []Experiment
+	if len(ids) == 0 {
+		todo = All()
+	} else {
+		for _, id := range ids {
+			e, ok := Get(id)
+			if !ok {
+				return fmt.Errorf("harness: unknown experiment %q", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	w := cfg.out()
+	for _, e := range todo {
+		fmt.Fprintf(w, "\n=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(w, "claim: %s\n", e.Claim)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("harness: %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Fprint(w); err != nil {
+				return err
+			}
+			if csvDir != "" {
+				f, err := os.Create(filepath.Join(csvDir, t.ID+".csv"))
+				if err != nil {
+					return err
+				}
+				if err := t.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Table is one experiment output: a titled grid with headers, rendered
+// as aligned text for the terminal and as CSV for downstream plotting.
+type Table struct {
+	// ID slug used for CSV filenames, e.g. "e3_union_overlap".
+	ID string
+	// Title is the human heading, e.g. the figure/table it reproduces.
+	Title string
+	// Note explains how to read the table (what the paper claims and
+	// what shape to look for).
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable constructs a table with the given identity and headers.
+func NewTable(id, title, note string, headers ...string) *Table {
+	return &Table{ID: id, Title: title, Note: note, Headers: headers}
+}
+
+// AddRow appends a row; it panics if the cell count does not match the
+// headers (an experiment bug, caught loudly).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("harness: table %s row has %d cells, want %d", t.ID, len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n## %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "   %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range t.Headers {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders the table as CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Cell formatting helpers, so experiment code reads declaratively.
+
+// F formats a float with the given decimal places.
+func F(x float64, places int) string {
+	return strconv.FormatFloat(x, 'f', places, 64)
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(x float64) string {
+	return strconv.FormatFloat(100*x, 'f', 1, 64) + "%"
+}
+
+// I formats an integer.
+func I[T ~int | ~int64 | ~uint64](x T) string {
+	return strconv.FormatInt(int64(x), 10)
+}
+
+// Bytes formats a byte count human-readably (B / KiB / MiB).
+func Bytes(n int64) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%d B", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	}
+}

@@ -1,0 +1,53 @@
+package hashing
+
+import "math/bits"
+
+// MersennePrime is p = 2^61 - 1, the field modulus for the polynomial
+// hash families. Working modulo a Mersenne prime lets us reduce a
+// 128-bit product with shifts and adds instead of division.
+const MersennePrime uint64 = (1 << 61) - 1
+
+// reduceMersenne reduces a 128-bit value (hi, lo) modulo 2^61 - 1.
+// The result is in [0, p).
+func reduceMersenne(hi, lo uint64) uint64 {
+	// Split the 128-bit value into 61-bit limbs:
+	//   v = lo61 + 2^61·mid + 2^122·top
+	// and use 2^61 ≡ 1 (mod p).
+	lo61 := lo & MersennePrime
+	mid := (lo >> 61) | (hi << 3)
+	mid61 := mid & MersennePrime
+	top := hi >> 58
+	s := lo61 + mid61 + top
+	// s < 3p, so at most two conditional subtractions are needed.
+	if s >= MersennePrime {
+		s -= MersennePrime
+	}
+	if s >= MersennePrime {
+		s -= MersennePrime
+	}
+	return s
+}
+
+// MulModP returns (a * b) mod p for a, b in [0, p).
+func MulModP(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return reduceMersenne(hi, lo)
+}
+
+// AddModP returns (a + b) mod p for a, b in [0, p).
+func AddModP(a, b uint64) uint64 {
+	s := a + b // cannot overflow: a, b < 2^61
+	if s >= MersennePrime {
+		s -= MersennePrime
+	}
+	return s
+}
+
+// modP reduces an arbitrary 64-bit value into [0, p).
+func modP(x uint64) uint64 {
+	x = (x & MersennePrime) + (x >> 61)
+	if x >= MersennePrime {
+		x -= MersennePrime
+	}
+	return x
+}

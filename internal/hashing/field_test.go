@@ -1,0 +1,105 @@
+package hashing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bigMulModP(a, b uint64) uint64 {
+	p := new(big.Int).SetUint64(MersennePrime)
+	x := new(big.Int).SetUint64(a)
+	y := new(big.Int).SetUint64(b)
+	x.Mul(x, y)
+	x.Mod(x, p)
+	return x.Uint64()
+}
+
+func TestMulModPMatchesBigInt(t *testing.T) {
+	cases := [][2]uint64{
+		{0, 0},
+		{1, 1},
+		{MersennePrime - 1, MersennePrime - 1},
+		{MersennePrime - 1, 2},
+		{1 << 60, 1 << 60},
+		{123456789, 987654321},
+		{MersennePrime / 2, MersennePrime / 3},
+	}
+	for _, c := range cases {
+		got := MulModP(c[0], c[1])
+		want := bigMulModP(c[0], c[1])
+		if got != want {
+			t.Errorf("MulModP(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestMulModPQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= MersennePrime
+		b %= MersennePrime
+		return MulModP(a, b) == bigMulModP(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddModP(t *testing.T) {
+	if got := AddModP(MersennePrime-1, 1); got != 0 {
+		t.Errorf("AddModP(p-1, 1) = %d, want 0", got)
+	}
+	if got := AddModP(MersennePrime-1, MersennePrime-1); got != MersennePrime-2 {
+		t.Errorf("AddModP(p-1, p-1) = %d, want p-2", got)
+	}
+	if got := AddModP(0, 0); got != 0 {
+		t.Errorf("AddModP(0, 0) = %d, want 0", got)
+	}
+}
+
+func TestAddModPQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= MersennePrime
+		b %= MersennePrime
+		want := (a + b) % MersennePrime
+		return AddModP(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModP(t *testing.T) {
+	cases := []struct {
+		in, want uint64
+	}{
+		{0, 0},
+		{MersennePrime, 0},
+		{MersennePrime + 1, 1},
+		{MersennePrime - 1, MersennePrime - 1},
+		{^uint64(0), (^uint64(0)) % MersennePrime},
+	}
+	for _, c := range cases {
+		if got := modP(c.in); got != c.want {
+			t.Errorf("modP(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestModPQuick(t *testing.T) {
+	f := func(x uint64) bool {
+		return modP(x) == x%MersennePrime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceMersenneRange(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		return reduceMersenne(hi, lo) < MersennePrime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

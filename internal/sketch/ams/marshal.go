@@ -1,0 +1,58 @@
+package ams
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when decoding a malformed sketch.
+var ErrCorrupt = errors.New("ams: corrupt sketch encoding")
+
+// Wire format: magic "AM1", 8-byte seed, uvarint copies, one level
+// byte per copy (0xFF encodes "empty").
+
+// MarshalBinary encodes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	b := []byte{'A', 'M', '1'}
+	b = binary.LittleEndian.AppendUint64(b, s.seed)
+	b = binary.AppendUvarint(b, uint64(len(s.maxLvl)))
+	for _, l := range s.maxLvl {
+		if l < 0 {
+			b = append(b, 0xFF)
+		} else {
+			b = append(b, byte(l))
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a sketch encoded by MarshalBinary, replacing
+// s's state entirely.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 || data[0] != 'A' || data[1] != 'M' || data[2] != '1' {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data[3:11])
+	rest := data[11:]
+	copies, n := binary.Uvarint(rest)
+	if n <= 0 || copies == 0 || copies > 1<<16 {
+		return fmt.Errorf("%w: bad copy count", ErrCorrupt)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != copies {
+		return fmt.Errorf("%w: payload %d bytes, want %d", ErrCorrupt, len(rest), copies)
+	}
+	tmp := New(int(copies), seed)
+	for i, v := range rest {
+		if v == 0xFF {
+			tmp.maxLvl[i] = -1
+		} else if v > 64 {
+			return fmt.Errorf("%w: level %d out of range", ErrCorrupt, v)
+		} else {
+			tmp.maxLvl[i] = int8(v)
+		}
+	}
+	*s = *tmp
+	return nil
+}

@@ -1,0 +1,57 @@
+package ams
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(7, 3)
+	for x := uint64(0); x < 5000; x++ {
+		s.Process(x)
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Error("estimate changed across round trip")
+	}
+	if err := got.Merge(s); err != nil {
+		t.Errorf("decoded sketch cannot merge with original: %v", err)
+	}
+}
+
+func TestMarshalEmptyCopies(t *testing.T) {
+	s := New(3, 1) // never processed: all copies empty (level -1)
+	enc, _ := s.MarshalBinary()
+	var got Sketch
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != 0 {
+		t.Errorf("empty estimate = %v", got.Estimate())
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	s := New(3, 1)
+	s.Process(5)
+	enc, _ := s.MarshalBinary()
+	var d Sketch
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"magic":     append([]byte("XXX"), enc[3:]...),
+		"truncated": enc[:len(enc)-1],
+		"bad level": append(enc[:len(enc)-1], 99),
+		"trailing":  append(append([]byte{}, enc...), 0),
+	} {
+		if err := d.UnmarshalBinary(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

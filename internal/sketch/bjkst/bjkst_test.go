@@ -1,0 +1,158 @@
+package bjkst
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestExactSmall(t *testing.T) {
+	s := New(256, 1)
+	for x := uint64(0); x < 100; x++ {
+		s.Process(x)
+		s.Process(x)
+	}
+	if s.Level() != 0 {
+		t.Fatalf("level = %d, want 0", s.Level())
+	}
+	// Fingerprint collisions can shave a little; allow tiny slack.
+	if got := s.Estimate(); got < 97 || got > 100 {
+		t.Errorf("estimate = %v, want ~100", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	const truth = 100000
+	s := New(1024, 42)
+	for x := uint64(0); x < truth; x++ {
+		s.Process(x)
+	}
+	got := s.Estimate()
+	if rel := math.Abs(got-truth) / truth; rel > 0.12 {
+		t.Errorf("estimate %.0f vs %d: rel err %.3f", got, truth, rel)
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	s := New(64, 3)
+	for x := uint64(0); x < 100000; x++ {
+		s.Process(x)
+	}
+	if s.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity 64", s.Len())
+	}
+	if s.Level() == 0 {
+		t.Error("level never raised on a large stream")
+	}
+}
+
+func TestMergeAgreesWithUnion(t *testing.T) {
+	a, b, both := New(128, 5), New(128, 5), New(128, 5)
+	for x := uint64(0); x < 20000; x++ {
+		a.Process(x)
+		both.Process(x)
+	}
+	for x := uint64(10000); x < 35000; x++ {
+		b.Process(x)
+		both.Process(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Unlike the GT sampler, BJKST merge is not guaranteed to equal
+	// sequential processing bit-for-bit (fingerprint collisions can
+	// resolve differently), but the estimates must agree closely.
+	am, bm := a.Estimate(), both.Estimate()
+	if rel := math.Abs(am-bm) / bm; rel > 0.05 {
+		t.Errorf("merged %.0f vs union %.0f: rel %.3f", am, bm, rel)
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	a := New(64, 1)
+	if err := a.Merge(New(32, 1)); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+	if err := a.Merge(New(64, 2)); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+}
+
+func TestDuplicateAndOrderInsensitive(t *testing.T) {
+	labels := make([]uint64, 5000)
+	r := hashing.NewXoshiro256(9)
+	for i := range labels {
+		labels[i] = r.Uint64n(2000)
+	}
+	a := New(64, 7)
+	for _, x := range labels {
+		a.Process(x)
+	}
+	for i := len(labels) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	b := New(64, 7)
+	for _, x := range labels {
+		b.Process(x)
+		b.Process(x)
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Error("estimate depends on order/duplicates")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s := New(64, 1)
+	for x := uint64(0); x < 1000; x++ {
+		s.Process(x)
+	}
+	if s.SizeBytes() != 5*s.Len() {
+		t.Errorf("SizeBytes = %d, want %d", s.SizeBytes(), 5*s.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(64, 1)
+	for x := uint64(0); x < 10000; x++ {
+		s.Process(x)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Level() != 0 || s.Estimate() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, ...) did not panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestTinyCapacityFingerprintRange(t *testing.T) {
+	// capacity 2 -> mod would be 8; clamped to >= 64.
+	s := New(2, 1)
+	if s.printMod < 64 {
+		t.Errorf("printMod = %d, want >= 64", s.printMod)
+	}
+	for x := uint64(0); x < 10000; x++ {
+		s.Process(x)
+	}
+	if s.Len() > 2 {
+		t.Errorf("capacity 2 exceeded: %d", s.Len())
+	}
+}
+
+func TestHugeCapacityFingerprintRange(t *testing.T) {
+	s := New(4096, 1)
+	if s.printMod != 1<<32 {
+		t.Errorf("printMod = %d, want 2^32", s.printMod)
+	}
+}

@@ -1,0 +1,92 @@
+package bjkst
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// ErrCorrupt is returned when decoding a malformed sketch.
+var ErrCorrupt = errors.New("bjkst: corrupt sketch encoding")
+
+// Wire format: magic "BJ1", 8-byte seed, uvarint capacity, uvarint
+// level z, uvarint bucket count, then (fingerprint uint32 LE, level
+// byte) pairs sorted by fingerprint.
+
+// MarshalBinary encodes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	b := []byte{'B', 'J', '1'}
+	b = binary.LittleEndian.AppendUint64(b, s.seed)
+	b = binary.AppendUvarint(b, uint64(s.capacity))
+	b = binary.AppendUvarint(b, uint64(s.z))
+	b = binary.AppendUvarint(b, uint64(len(s.buckets)))
+	fps := make([]uint32, 0, len(s.buckets))
+	for fp := range s.buckets {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		b = binary.LittleEndian.AppendUint32(b, fp)
+		b = append(b, byte(s.buckets[fp]))
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a sketch encoded by MarshalBinary, replacing
+// s's state entirely.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 || data[0] != 'B' || data[1] != 'J' || data[2] != '1' {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data[3:11])
+	rest := data[11:]
+	capacity, n := binary.Uvarint(rest)
+	if n <= 0 || capacity == 0 || capacity > 1<<30 {
+		return fmt.Errorf("%w: bad capacity", ErrCorrupt)
+	}
+	rest = rest[n:]
+	z, n := binary.Uvarint(rest)
+	if n <= 0 || z > 64 {
+		return fmt.Errorf("%w: bad level", ErrCorrupt)
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > capacity {
+		return fmt.Errorf("%w: bad bucket count", ErrCorrupt)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != 5*count {
+		return fmt.Errorf("%w: payload %d bytes, want %d", ErrCorrupt, len(rest), 5*count)
+	}
+	// Build by hand with the bucket map sized by the actual count: a
+	// forged header with a huge capacity must not trigger a huge
+	// allocation. All capacity-derived parameters (the fingerprint
+	// range in particular) must still come from the declared capacity
+	// so the decoded sketch stays coherent with its encoder.
+	sm := hashing.NewSplitMix64(seed)
+	tmp := &Sketch{
+		capacity:  int(capacity),
+		seed:      seed,
+		levelHash: hashing.NewPairwise(sm.Next()),
+		printHash: hashing.NewPairwise(sm.Next()),
+		printMod:  fingerprintMod(int(capacity)),
+		buckets:   make(map[uint32]int8, count),
+	}
+	tmp.z = int(z)
+	for i := uint64(0); i < count; i++ {
+		fp := binary.LittleEndian.Uint32(rest[5*i:])
+		lvl := rest[5*i+4]
+		if lvl > 64 || int(lvl) < tmp.z {
+			return fmt.Errorf("%w: bucket level %d inconsistent with z=%d", ErrCorrupt, lvl, tmp.z)
+		}
+		if _, dup := tmp.buckets[fp]; dup {
+			return fmt.Errorf("%w: duplicate fingerprint", ErrCorrupt)
+		}
+		tmp.buckets[fp] = int8(lvl)
+	}
+	*s = *tmp
+	return nil
+}

@@ -1,0 +1,46 @@
+package bjkst
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(64, 9)
+	for x := uint64(0); x < 20000; x++ {
+		s.Process(x)
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != s.Estimate() || got.Level() != s.Level() || got.Len() != s.Len() {
+		t.Error("state changed across round trip")
+	}
+	if err := got.Merge(s); err != nil {
+		t.Errorf("decoded sketch cannot merge with original: %v", err)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	s := New(8, 1)
+	for x := uint64(0); x < 1000; x++ {
+		s.Process(x)
+	}
+	enc, _ := s.MarshalBinary()
+	var d Sketch
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"magic":     append([]byte("XXX"), enc[3:]...),
+		"truncated": enc[:len(enc)-1],
+		"trailing":  append(append([]byte{}, enc...), 0, 0, 0, 0, 0),
+	} {
+		if err := d.UnmarshalBinary(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

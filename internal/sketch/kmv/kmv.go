@@ -1,0 +1,187 @@
+// Package kmv implements the K-Minimum-Values (bottom-k) distinct
+// count sketch — the modern descendant of the paper's coordinated
+// sampling idea (the lineage runs GT'01 → Bar-Yossef et al. '02 →
+// KMV/theta sketches as in Apache DataSketches).
+//
+// The sketch keeps the k smallest distinct hash values of the stream;
+// with the k-th smallest value mapped to the unit interval as v, the
+// estimate is (k-1)/v. Like the GT sampler, KMV sketches sharing a
+// seed are coordinated: they merge by keeping the k smallest of the
+// union, and the overlap of two sketches' bottom-k sets estimates the
+// Jaccard similarity of the underlying streams.
+package kmv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// ErrMismatch is returned when merging sketches with different
+// configurations.
+var ErrMismatch = errors.New("kmv: cannot merge sketches with different configurations")
+
+// Sketch is a bottom-k distinct-count sketch. Construct with New.
+type Sketch struct {
+	k    int
+	seed uint64
+	hash hashing.Pairwise
+	// heap is a max-heap of the current bottom-k hash values, so the
+	// largest retained value (the eviction candidate) is at the root.
+	heap []uint64
+	// members dedups hash values currently in the heap.
+	members map[uint64]struct{}
+}
+
+// New returns a bottom-k sketch. Relative standard error ≈ 1/√(k-2).
+// k must be ≥ 2.
+func New(k int, seed uint64) *Sketch {
+	if k < 2 {
+		panic(fmt.Sprintf("kmv: k must be >= 2, got %d", k))
+	}
+	return &Sketch{
+		k:       k,
+		seed:    seed,
+		hash:    hashing.NewPairwise(seed),
+		heap:    make([]uint64, 0, k),
+		members: make(map[uint64]struct{}, k),
+	}
+}
+
+// Process observes one occurrence of label.
+func (s *Sketch) Process(label uint64) {
+	s.insert(s.hash.Hash(label))
+}
+
+func (s *Sketch) insert(v uint64) {
+	if len(s.heap) == s.k && v >= s.heap[0] {
+		return // not smaller than the current k-th value
+	}
+	if _, dup := s.members[v]; dup {
+		return
+	}
+	if len(s.heap) < s.k {
+		s.members[v] = struct{}{}
+		s.heap = append(s.heap, v)
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	// Replace the root (largest retained) with v.
+	delete(s.members, s.heap[0])
+	s.members[v] = struct{}{}
+	s.heap[0] = v
+	s.siftDown(0)
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent] >= s.heap[i] {
+			return
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l] > s.heap[largest] {
+			largest = l
+		}
+		if r < n && s.heap[r] > s.heap[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+// Estimate returns the distinct-count estimate: exact while fewer than
+// k distinct hash values have been seen, (k-1)/v_k afterwards.
+func (s *Sketch) Estimate() float64 {
+	if len(s.heap) < s.k {
+		return float64(len(s.heap))
+	}
+	vk := hashing.Fraction(s.heap[0])
+	if vk == 0 {
+		return float64(s.k)
+	}
+	return float64(s.k-1) / vk
+}
+
+// Merge folds other into s, keeping the bottom-k of the union. Both
+// sketches must share k and seed.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || s.k != other.k || s.seed != other.seed {
+		return ErrMismatch
+	}
+	for _, v := range other.heap {
+		s.insert(v)
+	}
+	return nil
+}
+
+// Jaccard estimates the Jaccard similarity |A∩B| / |A∪B| of the two
+// sketched streams by the overlap within the bottom-k of the union.
+// Both sketches must share k and seed.
+func (s *Sketch) Jaccard(other *Sketch) (float64, error) {
+	if other == nil || s.k != other.k || s.seed != other.seed {
+		return 0, ErrMismatch
+	}
+	union := New(s.k, s.seed)
+	if err := union.Merge(s); err != nil {
+		return 0, err
+	}
+	if err := union.Merge(other); err != nil {
+		return 0, err
+	}
+	inBoth := 0
+	for _, v := range union.heap {
+		_, inS := s.members[v]
+		_, inO := other.members[v]
+		if inS && inO {
+			inBoth++
+		}
+	}
+	if len(union.heap) == 0 {
+		return 0, nil
+	}
+	return float64(inBoth) / float64(len(union.heap)), nil
+}
+
+// Len returns the number of retained hash values.
+func (s *Sketch) Len() int { return len(s.heap) }
+
+// K returns the configured k.
+func (s *Sketch) K() int { return s.k }
+
+// SizeBytes returns the sketch payload size: 8 bytes per retained
+// value.
+func (s *Sketch) SizeBytes() int { return 8 * len(s.heap) }
+
+// Reset clears the sketch, keeping its configuration.
+func (s *Sketch) Reset() {
+	s.heap = s.heap[:0]
+	clear(s.members)
+}
+
+// KForEpsilon returns the k targeting relative error eps
+// (stderr ≈ 1/√(k-2)).
+func KForEpsilon(eps float64) int {
+	if eps <= 0 || eps > 1 {
+		panic(fmt.Sprintf("kmv: epsilon must be in (0, 1], got %v", eps))
+	}
+	k := int(1/(eps*eps)+0.5) + 2
+	if k < 2 {
+		k = 2
+	}
+	return k
+}

@@ -1,0 +1,92 @@
+package kmv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// ErrCorrupt is returned when decoding a malformed sketch.
+var ErrCorrupt = errors.New("kmv: corrupt sketch encoding")
+
+// Wire format: magic "KV1", 8-byte seed, uvarint k, uvarint retained
+// count, then the retained hash values sorted ascending, delta-encoded
+// as uvarints. (Sorting makes the encoding canonical: equal sketch
+// states encode identically.)
+
+// MarshalBinary encodes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	b := []byte{'K', 'V', '1'}
+	b = binary.LittleEndian.AppendUint64(b, s.seed)
+	b = binary.AppendUvarint(b, uint64(s.k))
+	b = binary.AppendUvarint(b, uint64(len(s.heap)))
+	vals := append([]uint64(nil), s.heap...)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	prev := uint64(0)
+	for i, v := range vals {
+		if i == 0 {
+			b = binary.AppendUvarint(b, v)
+		} else {
+			b = binary.AppendUvarint(b, v-prev)
+		}
+		prev = v
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a sketch encoded by MarshalBinary, replacing
+// s's state entirely.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 || data[0] != 'K' || data[1] != 'V' || data[2] != '1' {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data[3:11])
+	rest := data[11:]
+	k, n := binary.Uvarint(rest)
+	if n <= 0 || k < 2 || k > 1<<30 {
+		return fmt.Errorf("%w: bad k", ErrCorrupt)
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > k {
+		return fmt.Errorf("%w: bad count", ErrCorrupt)
+	}
+	rest = rest[n:]
+	// Allocate by the actual retained count, not by k: a forged
+	// header with a huge k must not trigger a huge allocation.
+	tmp := &Sketch{
+		k:       int(k),
+		seed:    seed,
+		hash:    hashing.NewPairwise(seed),
+		heap:    make([]uint64, 0, count),
+		members: make(map[uint64]struct{}, count),
+	}
+	var v uint64
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("%w: truncated value %d", ErrCorrupt, i)
+		}
+		rest = rest[n:]
+		if i == 0 {
+			v = delta
+		} else {
+			if delta == 0 {
+				return fmt.Errorf("%w: duplicate value", ErrCorrupt)
+			}
+			v += delta
+		}
+		tmp.insert(v)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	if len(tmp.heap) != int(count) {
+		return fmt.Errorf("%w: duplicate values in encoding", ErrCorrupt)
+	}
+	*s = *tmp
+	return nil
+}

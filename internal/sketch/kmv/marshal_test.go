@@ -1,0 +1,69 @@
+package kmv
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(64, 9)
+	for x := uint64(0); x < 5000; x++ {
+		s.Process(x)
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Error("estimate changed across round trip")
+	}
+	if got.Len() != s.Len() {
+		t.Errorf("Len %d vs %d", got.Len(), s.Len())
+	}
+	if err := got.Merge(s); err != nil {
+		t.Errorf("decoded sketch cannot merge with original: %v", err)
+	}
+	// Canonical: re-encoding gives identical bytes.
+	enc2, _ := got.MarshalBinary()
+	if string(enc) != string(enc2) {
+		t.Error("encoding not canonical")
+	}
+}
+
+func TestMarshalPartial(t *testing.T) {
+	s := New(100, 2)
+	for x := uint64(0); x < 10; x++ {
+		s.Process(x)
+	}
+	enc, _ := s.MarshalBinary()
+	var got Sketch
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != 10 {
+		t.Errorf("partial estimate = %v, want 10", got.Estimate())
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	s := New(8, 1)
+	for x := uint64(0); x < 100; x++ {
+		s.Process(x)
+	}
+	enc, _ := s.MarshalBinary()
+	var d Sketch
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"magic":     append([]byte("XXX"), enc[3:]...),
+		"truncated": enc[:len(enc)-1],
+		"trailing":  append(append([]byte{}, enc...), 0, 0),
+	} {
+		if err := d.UnmarshalBinary(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package sketchfuzz_test cross-checks that every baseline sketch
+// decoder survives arbitrary input without panicking — the property a
+// coordinator needs when absorbing messages from untrusted sites.
+package sketchfuzz_test
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/sketch/ams"
+	"repro/internal/sketch/bjkst"
+	"repro/internal/sketch/fm"
+	"repro/internal/sketch/kmv"
+	"repro/internal/sketch/ll"
+)
+
+type decoder interface {
+	UnmarshalBinary([]byte) error
+}
+
+func TestDecodersNeverPanic(t *testing.T) {
+	encoders := map[string]func() ([]byte, func() decoder){
+		"fm": func() ([]byte, func() decoder) {
+			s := fm.New(32, 1)
+			for x := uint64(0); x < 1000; x++ {
+				s.Process(x)
+			}
+			b, _ := s.MarshalBinary()
+			return b, func() decoder { return &fm.Sketch{} }
+		},
+		"ams": func() ([]byte, func() decoder) {
+			s := ams.New(5, 1)
+			for x := uint64(0); x < 1000; x++ {
+				s.Process(x)
+			}
+			b, _ := s.MarshalBinary()
+			return b, func() decoder { return &ams.Sketch{} }
+		},
+		"kmv": func() ([]byte, func() decoder) {
+			s := kmv.New(32, 1)
+			for x := uint64(0); x < 1000; x++ {
+				s.Process(x)
+			}
+			b, _ := s.MarshalBinary()
+			return b, func() decoder { return &kmv.Sketch{} }
+		},
+		"bjkst": func() ([]byte, func() decoder) {
+			s := bjkst.New(32, 1)
+			for x := uint64(0); x < 1000; x++ {
+				s.Process(x)
+			}
+			b, _ := s.MarshalBinary()
+			return b, func() decoder { return &bjkst.Sketch{} }
+		},
+		"ll": func() ([]byte, func() decoder) {
+			s := ll.New(32, 1)
+			for x := uint64(0); x < 1000; x++ {
+				s.Process(x)
+			}
+			b, _ := s.MarshalBinary()
+			return b, func() decoder { return &ll.Sketch{} }
+		},
+	}
+	r := hashing.NewXoshiro256(3)
+	for name, mk := range encoders {
+		enc, newDec := mk()
+		for trial := 0; trial < 2000; trial++ {
+			var data []byte
+			if trial%2 == 0 {
+				data = make([]byte, r.Intn(120))
+				for i := range data {
+					data[i] = byte(r.Uint64())
+				}
+			} else {
+				data = append([]byte(nil), enc...)
+				for k := 0; k < 1+r.Intn(4); k++ {
+					data[r.Intn(len(data))] = byte(r.Uint64())
+				}
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("%s: decoder panicked on trial %d: %v", name, trial, p)
+					}
+				}()
+				_ = newDec().UnmarshalBinary(data)
+			}()
+		}
+	}
+}

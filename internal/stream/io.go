@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// On-disk stream format ("GTS1"): a 4-byte magic, a uvarint item
+// count, then per item a uvarint label and a uvarint value. The format
+// is what cmd/streamgen writes and cmd/unioncount reads.
+
+var streamMagic = [4]byte{'G', 'T', 'S', '1'}
+
+// ErrBadStreamFile is returned when decoding a malformed stream file.
+var ErrBadStreamFile = errors.New("stream: malformed stream file")
+
+// Write encodes all items of src to w.
+func Write(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(streamMagic[:]); err != nil {
+		return err
+	}
+	items := Collect(src)
+	buf := binary.AppendUvarint(nil, uint64(len(items)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, it := range items {
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, it.Label)
+		buf = binary.AppendUvarint(buf, it.Value)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes src to the named file.
+func WriteFile(path string, src Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, src); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a full stream from r into memory and returns it as a
+// Source.
+func Read(r io.Reader) (*SliceSource, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadStreamFile, err)
+	}
+	if magic != streamMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadStreamFile, magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated count", ErrBadStreamFile)
+	}
+	const maxItems = 1 << 32
+	if count > maxItems {
+		return nil, fmt.Errorf("%w: implausible item count %d", ErrBadStreamFile, count)
+	}
+	// Cap the initial allocation: the declared count is untrusted
+	// (each real item contributes at least two bytes, but r is a
+	// stream whose length is unknown here), so start small and let
+	// append grow toward the declared count.
+	initial := count
+	if initial > 1<<16 {
+		initial = 1 << 16
+	}
+	items := make([]Item, 0, initial)
+	for i := uint64(0); i < count; i++ {
+		label, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated item %d", ErrBadStreamFile, i)
+		}
+		value, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated item %d", ErrBadStreamFile, i)
+		}
+		items = append(items, Item{Label: label, Value: value})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data", ErrBadStreamFile)
+	}
+	return FromSlice(items), nil
+}
+
+// ReadFile reads a stream from the named file.
+func ReadFile(path string) (*SliceSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,222 @@
+package window
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// ErrCorrupt is returned when decoding a malformed window sketch.
+var ErrCorrupt = errors.New("window: corrupt sketch encoding")
+
+// Wire format (little endian, varints for counts):
+//
+//	magic "GW1"            3 bytes
+//	seed                   8 bytes
+//	capacity               uvarint
+//	maxLevel               uvarint
+//	seen                   1 byte (0/1)
+//	lastTS                 uvarint
+//	levels                 uvarint (= maxLevel+1)
+//	per level:
+//	    evicted            1 byte (0/1)
+//	    evictedTo          uvarint
+//	    count              uvarint
+//	    entries oldest→newest:
+//	        ts delta       uvarint (first absolute)
+//	        label          uvarint
+//
+// The decoder re-derives every label's hash level and rejects entries
+// that do not belong in their level, so an uncoordinated or corrupted
+// message cannot silently poison a merge.
+
+// MarshalBinary encodes the sketch. Entries are written in recency
+// order, so equal states encode identically.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	b := []byte{'G', 'W', '1'}
+	b = binary.LittleEndian.AppendUint64(b, s.cfg.Seed)
+	b = binary.AppendUvarint(b, uint64(s.cfg.Capacity))
+	b = binary.AppendUvarint(b, uint64(s.cfg.MaxLevel))
+	if s.seen {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, s.lastTS)
+	b = binary.AppendUvarint(b, uint64(len(s.levels)))
+	for _, ls := range s.levels {
+		if ls.evicted {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, ls.evictedTo)
+		b = binary.AppendUvarint(b, uint64(len(ls.idx)))
+		// Walk oldest → newest so the decoder can rebuild by touch().
+		prev := uint64(0)
+		first := true
+		for i := ls.tail; i >= 0; i = ls.entries[i].prev {
+			e := ls.entries[i]
+			if first {
+				b = binary.AppendUvarint(b, e.ts)
+				first = false
+			} else {
+				b = binary.AppendUvarint(b, e.ts-prev)
+			}
+			prev = e.ts
+			b = binary.AppendUvarint(b, e.label)
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a sketch encoded by MarshalBinary, replacing
+// s's state entirely.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 14 || data[0] != 'G' || data[1] != 'W' || data[2] != '1' {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data[3:11])
+	d := wdecoder{buf: data[11:]}
+	capacity, err := d.uvarint("capacity")
+	if err != nil {
+		return err
+	}
+	if capacity == 0 || capacity > 1<<32 {
+		return fmt.Errorf("%w: implausible capacity %d", ErrCorrupt, capacity)
+	}
+	maxLevel, err := d.uvarint("maxLevel")
+	if err != nil {
+		return err
+	}
+	if maxLevel > hashing.MaxLevel {
+		return fmt.Errorf("%w: maxLevel %d out of range", ErrCorrupt, maxLevel)
+	}
+	seenByte, err := d.byte("seen flag")
+	if err != nil {
+		return err
+	}
+	if seenByte > 1 {
+		return fmt.Errorf("%w: bad seen flag %d", ErrCorrupt, seenByte)
+	}
+	lastTS, err := d.uvarint("lastTS")
+	if err != nil {
+		return err
+	}
+	numLevels, err := d.uvarint("level count")
+	if err != nil {
+		return err
+	}
+	if numLevels != maxLevel+1 {
+		return fmt.Errorf("%w: %d levels for maxLevel %d", ErrCorrupt, numLevels, maxLevel)
+	}
+
+	tmp := New(Config{Capacity: int(capacity), Seed: seed, MaxLevel: int(maxLevel)})
+	tmp.seen = seenByte == 1
+	tmp.lastTS = lastTS
+	for lvl := 0; lvl < int(numLevels); lvl++ {
+		evictedByte, err := d.byte("evicted flag")
+		if err != nil {
+			return err
+		}
+		if evictedByte > 1 {
+			return fmt.Errorf("%w: bad evicted flag", ErrCorrupt)
+		}
+		evictedTo, err := d.uvarint("eviction horizon")
+		if err != nil {
+			return err
+		}
+		count, err := d.uvarint("entry count")
+		if err != nil {
+			return err
+		}
+		if count > capacity {
+			return fmt.Errorf("%w: level %d holds %d > capacity %d", ErrCorrupt, lvl, count, capacity)
+		}
+		if count > uint64(len(d.buf))+1 {
+			return fmt.Errorf("%w: level %d count exceeds payload", ErrCorrupt, lvl)
+		}
+		ls := tmp.levels[lvl]
+		ls.evicted = evictedByte == 1
+		ls.evictedTo = evictedTo
+		var ts uint64
+		for i := uint64(0); i < count; i++ {
+			delta, err := d.uvarint("timestamp")
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				ts = delta
+			} else {
+				next := ts + delta
+				if next < ts {
+					return fmt.Errorf("%w: timestamp overflow", ErrCorrupt)
+				}
+				ts = next
+			}
+			label, err := d.uvarint("label")
+			if err != nil {
+				return err
+			}
+			elvl := hashing.GeometricLevel(tmp.hash.Hash(label))
+			if elvl > int(maxLevel) {
+				elvl = int(maxLevel)
+			}
+			if elvl < lvl {
+				return fmt.Errorf("%w: label %d (level %d) in level-%d sample", ErrCorrupt, label, elvl, lvl)
+			}
+			if _, dup := ls.idx[label]; dup {
+				return fmt.Errorf("%w: duplicate label %d in level %d", ErrCorrupt, label, lvl)
+			}
+			if ts > lastTS {
+				return fmt.Errorf("%w: entry timestamp %d beyond lastTS %d", ErrCorrupt, ts, lastTS)
+			}
+			ls.touch(label, ts, int(capacity))
+		}
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	*s = *tmp
+	return nil
+}
+
+// Decode decodes a window sketch into a fresh value.
+func Decode(data []byte) (*Sketch, error) {
+	s := &Sketch{}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SizeBytes returns the wire-encoding length — the per-party message
+// cost in the distributed sliding-window model.
+func (s *Sketch) SizeBytes() int {
+	b, _ := s.MarshalBinary()
+	return len(b)
+}
+
+type wdecoder struct {
+	buf []byte
+}
+
+func (d *wdecoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *wdecoder) byte(what string) (byte, error) {
+	if len(d.buf) == 0 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}

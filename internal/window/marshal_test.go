@@ -1,0 +1,169 @@
+package window
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func builtWindowSketch(t *testing.T, seed uint64, n int) *Sketch {
+	t.Helper()
+	s := New(Config{Capacity: 64, Seed: seed, MaxLevel: 16})
+	r := hashing.NewXoshiro256(seed ^ 0xff)
+	for ts := uint64(1); ts <= uint64(n); ts++ {
+		if err := s.Process(r.Uint64n(uint64(n)/2+1), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestWindowMarshalRoundTrip(t *testing.T) {
+	s := builtWindowSketch(t, 3, 20000)
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical re-encoding.
+	enc2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Error("encoding not canonical across round trip")
+	}
+	if got.LastTimestamp() != s.LastTimestamp() {
+		t.Error("lastTS changed")
+	}
+	// Same answers for several windows.
+	for _, start := range []uint64{19990, 19000, 15000} {
+		a, errA := s.EstimateDistinctSince(start)
+		b, errB := got.EstimateDistinctSince(start)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Errorf("start %d: (%v,%v) vs (%v,%v)", start, a, errA, b, errB)
+		}
+	}
+	// Decoded sketch keeps processing correctly.
+	if err := got.Process(12345, got.LastTimestamp()+1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowMarshalEmpty(t *testing.T) {
+	s := New(Config{Capacity: 8, Seed: 1, MaxLevel: 4})
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := got.EstimateDistinctWindow(100)
+	if err != nil || est != 0 {
+		t.Errorf("empty decode: est %v err %v", est, err)
+	}
+}
+
+func TestWindowMergeDecodedMatchesLive(t *testing.T) {
+	cfg := Config{Capacity: 128, Seed: 9, MaxLevel: 16}
+	mk := func(offset uint64) *Sketch {
+		s := New(cfg)
+		for ts := uint64(1); ts <= 5000; ts++ {
+			if err := s.Process(ts+offset, ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	a1, a2 := mk(0), mk(0)
+	b := mk(2500)
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Merge(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := a1.MarshalBinary()
+	y, _ := a2.MarshalBinary()
+	if string(x) != string(y) {
+		t.Error("merge of decoded sketch differs from live merge")
+	}
+}
+
+func TestWindowUnmarshalCorrupt(t *testing.T) {
+	s := builtWindowSketch(t, 5, 3000)
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, data []byte) {
+		t.Helper()
+		var d Sketch
+		if err := d.UnmarshalBinary(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	check("empty", nil)
+	check("short", enc[:8])
+	check("magic", append([]byte("XXX"), enc[3:]...))
+	check("truncated", enc[:len(enc)-1])
+	check("trailing", append(append([]byte{}, enc...), 9))
+	// Seed flip makes the level membership checks fire.
+	seedFlip := append([]byte{}, enc...)
+	seedFlip[4] ^= 0xff
+	check("seed flip", seedFlip)
+}
+
+func TestWindowUnmarshalRandomNeverPanics(t *testing.T) {
+	s := builtWindowSketch(t, 7, 2000)
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hashing.NewXoshiro256(1)
+	for trial := 0; trial < 2000; trial++ {
+		var data []byte
+		if trial%2 == 0 {
+			data = make([]byte, r.Intn(150))
+			for i := range data {
+				data[i] = byte(r.Uint64())
+			}
+		} else {
+			data = append([]byte{}, enc...)
+			for k := 0; k < 1+r.Intn(5); k++ {
+				data[r.Intn(len(data))] = byte(r.Uint64())
+			}
+		}
+		var d Sketch
+		if err := d.UnmarshalBinary(data); err == nil {
+			// Usable if accepted.
+			_ = d.MemoryEntries()
+			if _, err := d.MarshalBinary(); err != nil {
+				t.Fatalf("trial %d: re-encode failed: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestWindowSizeBytesBounded(t *testing.T) {
+	s := builtWindowSketch(t, 11, 100000)
+	// Entries are bounded by levels × capacity; bytes should be well
+	// under 32 B/entry.
+	if max := 32 * s.MemoryEntries(); s.SizeBytes() > max {
+		t.Errorf("SizeBytes %d > %d", s.SizeBytes(), max)
+	}
+}

@@ -1,0 +1,403 @@
+package window
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/hashing"
+)
+
+func TestSmallStreamExact(t *testing.T) {
+	s := New(Config{Capacity: 1024, Seed: 1})
+	for ts := uint64(1); ts <= 100; ts++ {
+		if err := s.Process(ts, ts); err != nil { // label == ts, all distinct
+			t.Fatal(err)
+		}
+	}
+	// No eviction anywhere: every window is exact at level 0.
+	got, err := s.EstimateDistinctSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("full window = %v, want 100", got)
+	}
+	got, err = s.EstimateDistinctSince(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Errorf("half window = %v, want 50", got)
+	}
+	got, err = s.EstimateDistinctWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("width-10 window = %v, want 10", got)
+	}
+}
+
+func TestDuplicatesCountOnce(t *testing.T) {
+	s := New(Config{Capacity: 64, Seed: 2})
+	for ts := uint64(1); ts <= 1000; ts++ {
+		if err := s.Process(ts%10, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.EstimateDistinctSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("distinct = %v, want 10", got)
+	}
+	// A window of the last 5 timestamps holds 5 distinct labels.
+	got, err = s.EstimateDistinctWindow(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("last-5 window = %v, want 5", got)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	s := New(Config{Capacity: 8, Seed: 1})
+	if err := s.Process(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Process(2, 9); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("out-of-order accepted: %v", err)
+	}
+	if err := s.Process(3, 10); err != nil {
+		t.Errorf("equal timestamp rejected: %v", err)
+	}
+}
+
+func TestWindowedAccuracy(t *testing.T) {
+	// A long stream of fresh labels; query several window widths and
+	// compare against exact recomputation.
+	const n = 200_000
+	s := New(Config{Capacity: 4096, Seed: 42})
+	labels := make([]uint64, n)
+	r := hashing.NewXoshiro256(3)
+	for ts := 0; ts < n; ts++ {
+		labels[ts] = r.Uint64n(n / 2)
+		if err := s.Process(labels[ts], uint64(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, width := range []uint64{1000, 10_000, 100_000} {
+		start := uint64(n) - width
+		truth := exact.NewDistinct()
+		for ts := start; ts < n; ts++ {
+			truth.Process(labels[ts])
+		}
+		got, err := s.EstimateDistinctSince(start)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		rel := math.Abs(got-float64(truth.Count())) / float64(truth.Count())
+		if rel > 0.12 {
+			t.Errorf("width %d: est %.0f vs %d (rel %.3f)", width, got, truth.Count(), rel)
+		}
+	}
+}
+
+func TestSlidingForgetsThePast(t *testing.T) {
+	// Phase 1 floods labels [0, 50k); phase 2 uses only 100 labels.
+	// A window covering just phase 2 must report ~100, not 50k.
+	s := New(Config{Capacity: 1024, Seed: 7})
+	ts := uint64(0)
+	for x := uint64(0); x < 50_000; x++ {
+		ts++
+		if err := s.Process(x, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase2 := ts + 1
+	for i := 0; i < 10_000; i++ {
+		ts++
+		if err := s.Process(1_000_000+uint64(i%100), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.EstimateDistinctSince(phase2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		// Level 0 retains the last 1024 distinct labels, which covers
+		// the 100-label phase exactly.
+		t.Errorf("phase-2 window = %v, want exactly 100", got)
+	}
+}
+
+func TestUncovered(t *testing.T) {
+	s := New(Config{Capacity: 4, Seed: 9, MaxLevel: 2})
+	for ts := uint64(1); ts <= 10_000; ts++ {
+		if err := s.Process(ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With capacity 4 and only 3 levels, a full-history window cannot
+	// be covered.
+	if _, err := s.EstimateDistinctSince(1); !errors.Is(err, ErrUncovered) {
+		t.Errorf("expected ErrUncovered, got %v", err)
+	}
+	// A recent window still works.
+	if _, err := s.EstimateDistinctSince(9_999); err != nil {
+		t.Errorf("recent window failed: %v", err)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := New(Config{Capacity: 8, Seed: 1})
+	got, err := s.EstimateDistinctWindow(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("empty sketch window = %v", got)
+	}
+	if s.LastTimestamp() != 0 {
+		t.Errorf("LastTimestamp = %d", s.LastTimestamp())
+	}
+}
+
+func TestMergeMatchesUnionStream(t *testing.T) {
+	// Two interleaved streams; the merged sketch must answer like a
+	// sketch of the interleaving (which, for windows with no eviction
+	// at level 0, is exact on both paths).
+	cfg := Config{Capacity: 2048, Seed: 11}
+	a, b, both := New(cfg), New(cfg), New(cfg)
+	r := hashing.NewXoshiro256(5)
+	for ts := uint64(1); ts <= 3000; ts++ {
+		label := r.Uint64n(800)
+		var err error
+		if ts%2 == 0 {
+			err = a.Process(label, ts)
+		} else {
+			err = b.Process(label, ts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := both.Process(label, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []uint64{1, 1500, 2900} {
+		ma, err := a.EstimateDistinctSince(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := both.EstimateDistinctSince(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ma != mb {
+			t.Errorf("start %d: merged %v != union-stream %v", start, ma, mb)
+		}
+	}
+	if a.LastTimestamp() != both.LastTimestamp() {
+		t.Error("merged LastTimestamp wrong")
+	}
+}
+
+func TestMergeWithEviction(t *testing.T) {
+	// Big per-site streams force evictions; merged window estimates
+	// must stay accurate for covered windows.
+	cfg := Config{Capacity: 2048, Seed: 13}
+	a, b := New(cfg), New(cfg)
+	truth := exact.NewDistinct()
+	const n = 100_000
+	const windowStart = n - 20_000
+	r := hashing.NewXoshiro256(9)
+	for ts := uint64(0); ts < n; ts++ {
+		la := r.Uint64n(n / 4)
+		lb := r.Uint64n(n/4) + n/8 // overlapping label ranges
+		if err := a.Process(la, ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Process(lb, ts); err != nil {
+			t.Fatal(err)
+		}
+		if ts >= windowStart {
+			truth.Process(la)
+			truth.Process(lb)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.EstimateDistinctSince(windowStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(got-float64(truth.Count())) / float64(truth.Count())
+	if rel > 0.15 {
+		t.Errorf("merged window est %.0f vs %d (rel %.3f)", got, truth.Count(), rel)
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	a := New(Config{Capacity: 8, Seed: 1})
+	if err := a.Merge(New(Config{Capacity: 8, Seed: 2})); !errors.Is(err, ErrMismatch) {
+		t.Error("seed mismatch accepted")
+	}
+	if err := a.Merge(New(Config{Capacity: 16, Seed: 1})); !errors.Is(err, ErrMismatch) {
+		t.Error("capacity mismatch accepted")
+	}
+	if err := a.Merge(nil); !errors.Is(err, ErrMismatch) {
+		t.Error("nil accepted")
+	}
+}
+
+func TestMemoryBounded(t *testing.T) {
+	s := New(Config{Capacity: 256, Seed: 3, MaxLevel: 20})
+	for ts := uint64(0); ts < 500_000; ts++ {
+		if err := s.Process(ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, max := s.MemoryEntries(), 21*256; got > max {
+		t.Errorf("MemoryEntries = %d exceeds levels*capacity = %d", got, max)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"capacity": {Capacity: 0},
+		"level":    {Capacity: 4, MaxLevel: 99},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestRefreshKeepsLabelAlive(t *testing.T) {
+	// A label refreshed every step must survive any eviction pressure
+	// and appear in the tightest window.
+	s := New(Config{Capacity: 64, Seed: 17})
+	for ts := uint64(1); ts <= 50_000; ts++ {
+		if err := s.Process(999_999_999, ts); err != nil { // the evergreen label
+			t.Fatal(err)
+		}
+		if err := s.Process(ts, ts); err != nil { // churn
+			t.Fatal(err)
+		}
+	}
+	got, err := s.EstimateDistinctWindow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window of the last 2 timestamps: evergreen + 2 churn labels.
+	if got < 2 || got > 16 {
+		t.Errorf("tight window = %v, want small and positive", got)
+	}
+}
+
+func buildWindowTriple(seed uint64) (a, b, c *Sketch) {
+	cfg := Config{Capacity: 32, Seed: 1234, MaxLevel: 12}
+	r := hashing.NewXoshiro256(seed)
+	mk := func() *Sketch {
+		s := New(cfg)
+		n := 200 + r.Intn(2000)
+		for ts := uint64(1); ts <= uint64(n); ts++ {
+			if err := s.Process(r.Uint64n(500), ts); err != nil {
+				panic(err)
+			}
+		}
+		return s
+	}
+	return mk(), mk(), mk()
+}
+
+func TestWindowMergeCommutative(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b, _ := buildWindowTriple(seed)
+		ab, ba := clone(t, a), clone(t, b)
+		if err := ab.Merge(b); err != nil {
+			return false
+		}
+		if err := ba.Merge(a); err != nil {
+			return false
+		}
+		x, _ := ab.MarshalBinary()
+		y, _ := ba.MarshalBinary()
+		return string(x) == string(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowMergeAssociativeEstimates(t *testing.T) {
+	// Window merge trims to the most recent Capacity entries, so
+	// unlike the infinite-window sampler, intermediate trims can
+	// differ bit-for-bit across association orders; the *answers* for
+	// covered windows must still agree.
+	f := func(seed uint64) bool {
+		a, b, c := buildWindowTriple(seed)
+		left := clone(t, a)
+		if err := left.Merge(b); err != nil {
+			return false
+		}
+		if err := left.Merge(c); err != nil {
+			return false
+		}
+		bc := clone(t, b)
+		if err := bc.Merge(c); err != nil {
+			return false
+		}
+		right := clone(t, a)
+		if err := right.Merge(bc); err != nil {
+			return false
+		}
+		for _, back := range []uint64{1, 10, 100} {
+			start := uint64(0)
+			if left.LastTimestamp() > back {
+				start = left.LastTimestamp() - back
+			}
+			x, errX := left.EstimateDistinctSince(start)
+			y, errY := right.EstimateDistinctSince(start)
+			if (errX == nil) != (errY == nil) {
+				return false
+			}
+			if errX == nil && x != y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clone(t *testing.T, s *Sketch) *Sketch {
+	t.Helper()
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

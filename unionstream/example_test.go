@@ -1,0 +1,120 @@
+package unionstream_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/unionstream"
+)
+
+// Example demonstrates the core workflow: two parties sketch their own
+// streams with shared options, exchange one message, and estimate over
+// the union. The streams here are tiny, so the estimates are exact —
+// the sample has not overflowed.
+func Example() {
+	opts := unionstream.Options{Epsilon: 0.1, Delta: 0.05, Seed: 7}
+	a, err := unionstream.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := unionstream.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for x := uint64(0); x < 30; x++ {
+		a.Add(x)
+	}
+	for x := uint64(20); x < 50; x++ {
+		b.Add(x)
+		b.Add(x) // duplicates are free
+	}
+	msg, err := b.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote, err := unionstream.Decode(msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Merge(remote); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct in union: %.0f\n", a.DistinctCount())
+	// Output:
+	// distinct in union: 50
+}
+
+// ExampleSketch_CountWhere shows query-time predicate estimation: the
+// predicate is chosen after the stream ended.
+func ExampleSketch_CountWhere() {
+	s, err := unionstream.New(unionstream.Options{Epsilon: 0.1, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for x := uint64(0); x < 100; x++ {
+		s.Add(x)
+	}
+	even := s.CountWhere(func(label uint64) bool { return label%2 == 0 })
+	fmt.Printf("distinct even labels: %.0f\n", even)
+	// Output:
+	// distinct even labels: 50
+}
+
+// ExampleSketch_SumDistinct shows duplicate-insensitive sums: each
+// label carries a fixed value and is counted once however often it
+// appears.
+func ExampleSketch_SumDistinct() {
+	s, err := unionstream.New(unionstream.Options{Epsilon: 0.1, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ { // three duplicate passes
+		for x := uint64(1); x <= 10; x++ {
+			s.AddValued(x, x) // label x carries value x
+		}
+	}
+	fmt.Printf("sum over distinct labels: %.0f\n", s.SumDistinct())
+	// Output:
+	// sum over distinct labels: 55
+}
+
+// ExampleSketch_Jaccard shows the set-operation extension between two
+// coordinated sketches.
+func ExampleSketch_Jaccard() {
+	opts := unionstream.Options{Epsilon: 0.1, Seed: 11}
+	a, _ := unionstream.New(opts)
+	b, _ := unionstream.New(opts)
+	for x := uint64(0); x < 40; x++ {
+		a.Add(x)
+	}
+	for x := uint64(20); x < 60; x++ {
+		b.Add(x)
+	}
+	j, err := a.Jaccard(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jaccard: %.3f\n", j) // 20 shared / 60 union
+	// Output:
+	// jaccard: 0.333
+}
+
+// ExampleWindowSketch shows sliding-window distinct counting.
+func ExampleWindowSketch() {
+	w, err := unionstream.NewWindow(unionstream.WindowOptions{Epsilon: 0.1, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 100; ts++ {
+		if err := w.Add(ts%20, ts); err != nil { // 20 labels cycling
+			log.Fatal(err)
+		}
+	}
+	last10, err := w.DistinctLast(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct in last 10 ticks: %.0f\n", last10)
+	// Output:
+	// distinct in last 10 ticks: 10
+}

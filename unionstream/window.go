@@ -1,0 +1,122 @@
+package unionstream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/window"
+)
+
+// WindowOptions configures a WindowSketch. The zero value targets
+// ε = 0.05 with seed 0 and the full level range.
+type WindowOptions struct {
+	// Epsilon is the target relative error in (0, 1]; 0 means 0.05.
+	Epsilon float64
+	// Seed is the shared coordination seed.
+	Seed uint64
+	// Capacity overrides the per-level sample size (advanced; 0 =
+	// derive from Epsilon).
+	Capacity int
+	// MaxLevel bounds retained levels (advanced; 0 = full range).
+	// Lower values save memory when the windowed distinct rate is
+	// known to be far below 2^MaxLevel · Capacity.
+	MaxLevel int
+}
+
+// WindowSketch estimates distinct counts over sliding timestamp
+// windows of one or more coordinated streams — the extension of the
+// SPAA 2001 scheme that its authors developed next (SPAA 2002).
+// Timestamps must be non-decreasing per stream; sketches built with
+// equal options merge into a sketch of the union.
+type WindowSketch struct {
+	sk *window.Sketch
+}
+
+// NewWindow returns an empty sliding-window sketch.
+func NewWindow(opts WindowOptions) (*WindowSketch, error) {
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("unionstream: Epsilon %v outside (0, 1]", opts.Epsilon)
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = core.CapacityForEpsilon(eps)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("unionstream: Capacity %d must be positive", opts.Capacity)
+	}
+	if opts.MaxLevel < 0 || opts.MaxLevel > 61 {
+		return nil, fmt.Errorf("unionstream: MaxLevel %d outside [0, 61]", opts.MaxLevel)
+	}
+	return &WindowSketch{sk: window.New(window.Config{
+		Capacity: capacity,
+		Seed:     opts.Seed,
+		MaxLevel: opts.MaxLevel,
+	})}, nil
+}
+
+// Add observes label at timestamp ts (non-decreasing per stream).
+func (w *WindowSketch) Add(label, ts uint64) error {
+	return w.sk.Process(label, ts)
+}
+
+// DistinctSince estimates the number of distinct labels with
+// timestamp ≥ start. It returns window.ErrUncovered (via errors.Is) if
+// the retained state cannot certify a window that old.
+func (w *WindowSketch) DistinctSince(start uint64) (float64, error) {
+	return w.sk.EstimateDistinctSince(start)
+}
+
+// DistinctLast estimates the distinct count among the most recent
+// width timestamp units.
+func (w *WindowSketch) DistinctLast(width uint64) (float64, error) {
+	return w.sk.EstimateDistinctWindow(width)
+}
+
+// LastTimestamp returns the latest timestamp observed (0 before any).
+func (w *WindowSketch) LastTimestamp() uint64 { return w.sk.LastTimestamp() }
+
+// Merge folds other into w; afterwards w answers window queries over
+// the union of both streams. Options must match exactly.
+func (w *WindowSketch) Merge(other *WindowSketch) error {
+	if other == nil {
+		return fmt.Errorf("unionstream: merge with nil window sketch: %w", ErrMismatch)
+	}
+	return w.sk.Merge(other.sk)
+}
+
+// MemoryEntries reports the retained (label, timestamp) entries — the
+// sketch's space in entries, bounded by levels × capacity.
+func (w *WindowSketch) MemoryEntries() int { return w.sk.MemoryEntries() }
+
+// MarshalBinary encodes the sketch — the one message a party sends in
+// the distributed sliding-window model.
+func (w *WindowSketch) MarshalBinary() ([]byte, error) {
+	return w.sk.MarshalBinary()
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing w's state.
+func (w *WindowSketch) UnmarshalBinary(data []byte) error {
+	sk, err := window.Decode(data)
+	if err != nil {
+		return err
+	}
+	w.sk = sk
+	return nil
+}
+
+// DecodeWindow decodes a transmitted window sketch into a fresh value.
+func DecodeWindow(data []byte) (*WindowSketch, error) {
+	sk, err := window.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowSketch{sk: sk}, nil
+}
+
+// SizeBytes returns the wire size of the sketch.
+func (w *WindowSketch) SizeBytes() int { return w.sk.SizeBytes() }
