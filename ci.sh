@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's tier-1 gate, plus the race detector.
+#
+# The networked coordinator (internal/server) absorbs sketches from
+# concurrent connections through a worker pool; every change must keep
+# that path race-clean, so CI always runs the full suite under -race.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci.sh: all checks passed"

@@ -1,0 +1,98 @@
+// Command unionpush is the site side of the networked protocol: it
+// reads one or more stream files (the format cmd/streamgen writes),
+// sketches each as one party's stream with the shared coordination
+// seed, and pushes each sketch to a unionstreamd coordinator — one
+// small message per site, retried with exponential backoff if the
+// coordinator is briefly unreachable. With -query it then asks the
+// coordinator for the union estimates.
+//
+// Usage:
+//
+//	unionpush [-addr host:7600] [-eps 0.05] [-delta 0.01] [-seed 42]
+//	          [-attempts 4] [-timeout 5s] [-query] stream1.gts ...
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/stream"
+	"repro/unionstream"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "coordinator TCP address")
+		eps      = flag.Float64("eps", 0.05, "target relative error")
+		delta    = flag.Float64("delta", 0.01, "target failure probability")
+		seed     = flag.Uint64("seed", 42, "shared coordination seed")
+		attempts = flag.Int("attempts", 4, "push attempts per site (with exponential backoff)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		query    = flag.Bool("query", false, "query the union estimates after pushing")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "unionpush: need at least one stream file")
+		os.Exit(2)
+	}
+
+	cl := client.New(client.Config{
+		Addr:        *addr,
+		DialTimeout: *timeout,
+		Attempts:    *attempts,
+	})
+	opts := unionstream.Options{Epsilon: *eps, Delta: *delta, Seed: *seed}
+
+	for _, path := range files {
+		src, err := stream.ReadFile(path)
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		sk, err := unionstream.New(opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		n := 0
+		stream.Feed(src, func(it stream.Item) {
+			sk.AddValued(it.Label, it.Value)
+			n++
+		})
+		msg, err := sk.MarshalBinary()
+		if err != nil {
+			fail("%v", err)
+		}
+		tries, err := cl.Push(msg)
+		switch {
+		case errors.Is(err, client.ErrSeedMismatch):
+			fail("%s: coordinator refused our coordination seed %d: %v", path, *seed, err)
+		case errors.Is(err, client.ErrVersionMismatch):
+			fail("%s: coordinator speaks a different protocol version: %v", path, err)
+		case err != nil:
+			fail("%s: %v", path, err)
+		}
+		fmt.Printf("site %-24s %8d items, pushed %6d bytes (attempt %d)\n", path, n, len(msg), tries)
+	}
+
+	if *query {
+		distinct, err := cl.DistinctCount(*seed)
+		if err != nil {
+			fail("distinct query: %v", err)
+		}
+		sum, err := cl.SumDistinct(*seed)
+		if err != nil {
+			fail("sum query: %v", err)
+		}
+		fmt.Printf("\nunion distinct estimate: %.0f\n", distinct)
+		fmt.Printf("union sum estimate:      %.0f\n", sum)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "unionpush: "+format+"\n", args...)
+	os.Exit(1)
+}

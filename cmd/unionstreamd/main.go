@@ -1,0 +1,99 @@
+// Command unionstreamd runs the paper's referee as a network daemon:
+// a coordinator that accepts one-shot sketch messages from distributed
+// sites over TCP, merges them into per-configuration groups, and
+// answers union queries (distinct count, duplicate-insensitive sum,
+// predicate counts) plus a JSON /statsz introspection endpoint.
+//
+// Usage:
+//
+//	unionstreamd [-addr :7600] [-statsz :7601] [-workers N]
+//	             [-require-seed N] [-max-frame BYTES] [-quiet]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: in-flight messages
+// finish absorbing and are acked before the process exits. Push
+// sketches at it with cmd/unionpush and query with the same tool.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7600", "TCP listen address for the sketch protocol")
+		statsz      = flag.String("statsz", "", "HTTP listen address for /statsz (empty = disabled)")
+		workers     = flag.Int("workers", 0, "absorb worker pool size (0 = GOMAXPROCS)")
+		maxFrame    = flag.Uint("max-frame", 0, "maximum accepted frame payload in bytes (0 = 16 MiB)")
+		requireSeed = flag.Uint64("require-seed", 0, "reject sketches whose coordination seed differs (with -pin-seed)")
+		pinSeed     = flag.Bool("pin-seed", false, "enforce -require-seed (otherwise any seed forms its own group)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "unionstreamd: unexpected arguments", flag.Args())
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+	cfg := server.Config{
+		Addr:       *addr,
+		Workers:    *workers,
+		MaxPayload: uint32(*maxFrame),
+		Logf:       logf,
+	}
+	if *pinSeed {
+		cfg.RequireSeed = requireSeed
+	}
+	srv := server.New(cfg)
+
+	if *statsz != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/statsz", srv.StatszHandler())
+		hs := &http.Server{Addr: *statsz, Handler: mux}
+		go func() {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("unionstreamd: statsz: %v", err)
+			}
+		}()
+		defer hs.Close()
+		if !*quiet {
+			log.Printf("unionstreamd: statsz on http://%s/statsz", *statsz)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatalf("unionstreamd: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("unionstreamd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		<-serveErr
+	}
+}

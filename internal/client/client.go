@@ -1,0 +1,297 @@
+// Package client implements the site side of the networked protocol:
+// it dials the unionstreamd coordinator, pushes the site's one-shot
+// sketch message, and asks union queries. It is what cmd/unionpush and
+// the internal/distnet transport are built on.
+//
+// Transient failures (refused or dropped connections, timeouts) are
+// retried with capped exponential backoff plus jitter; protocol
+// refusals from the coordinator are permanent and surface as typed
+// errors — ErrVersionMismatch and ErrSeedMismatch — so a
+// mis-deployed site fails loudly instead of hanging or spinning.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Typed failures. All are permanent: retrying cannot fix a protocol
+// disagreement.
+var (
+	// ErrVersionMismatch: the coordinator speaks a different wire
+	// protocol version.
+	ErrVersionMismatch = errors.New("client: coordinator speaks a different wire version")
+	// ErrSeedMismatch: the coordinator refused the sketch's
+	// coordination seed (or configuration) — the site is not part of
+	// this deployment's coordinated fleet.
+	ErrSeedMismatch = errors.New("client: coordination seed rejected by coordinator")
+	// ErrRejected: the coordinator refused the message for another
+	// reason (corrupt payload, unsupported request); the wrapped
+	// detail explains.
+	ErrRejected = errors.New("client: message rejected by coordinator")
+)
+
+// Config parameterizes a Client. The zero value targets nothing; set
+// Addr. All other fields have serviceable defaults.
+type Config struct {
+	// Addr is the coordinator's TCP address, e.g. "10.0.0.5:7600".
+	Addr string
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response round trip (default 15s).
+	IOTimeout time.Duration
+	// Attempts is the total number of tries per operation, first
+	// included (default 4; minimum 1).
+	Attempts int
+	// BackoffBase is the pre-jitter wait before the first retry; it
+	// doubles per retry (default 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the pre-jitter backoff (default 3s).
+	BackoffMax time.Duration
+	// MaxPayload bounds response frames (0 = wire.DefaultMaxPayload).
+	MaxPayload uint32
+	// JitterSeed seeds the backoff jitter; 0 derives one from the
+	// clock. Fixed seeds make retry schedules reproducible in tests.
+	JitterSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 15 * time.Second
+	}
+	if c.Attempts < 1 {
+		c.Attempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 3 * time.Second
+	}
+	return c
+}
+
+// Client pushes sketches and queries one coordinator. It is safe for
+// concurrent use; every operation is a self-contained dial/request/
+// response exchange, matching the paper's one-message-per-site shape.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a client for the given configuration.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Push sends one sketch message (a unionstream.Sketch /
+// core.Estimator encoding) and waits for the coordinator's ack,
+// retrying transient failures. It returns the number of attempts made
+// alongside any final error.
+func (c *Client) Push(sketch []byte) (attempts int, err error) {
+	return c.pushFrame(wire.MsgPush, sketch)
+}
+
+// PushOpaque sends a protocol-defined message for the coordinator's
+// opaque protocol (see server.Config.Opaque).
+func (c *Client) PushOpaque(msg []byte) (attempts int, err error) {
+	return c.pushFrame(wire.MsgOpaque, msg)
+}
+
+func (c *Client) pushFrame(t wire.MsgType, payload []byte) (int, error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.backoff(attempt - 1))
+		}
+		err := c.roundTrip(func(conn net.Conn) error {
+			if err := wire.WriteFrame(conn, t, payload); err != nil {
+				return err
+			}
+			return c.readAck(conn)
+		})
+		if err == nil {
+			return attempt, nil
+		}
+		if permanent(err) {
+			return attempt, err
+		}
+		lastErr = err
+	}
+	return c.cfg.Attempts, fmt.Errorf("client: push failed after %d attempts: %w", c.cfg.Attempts, lastErr)
+}
+
+// Query asks the coordinator for one estimate, retrying transient
+// failures (queries are read-only, so retries are safe).
+func (c *Client) Query(q wire.Query) (float64, error) {
+	var est float64
+	err := c.retried(func(conn net.Conn) error {
+		if err := wire.WriteFrame(conn, wire.MsgQuery, q.Encode()); err != nil {
+			return err
+		}
+		typ, payload, err := c.readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.MsgQueryResult:
+			est, err = wire.DecodeQueryResult(payload)
+			return err
+		case wire.MsgAck:
+			return ackError(payload)
+		default:
+			return fmt.Errorf("%w: unexpected %s reply to query", ErrRejected, typ)
+		}
+	})
+	return est, err
+}
+
+// DistinctCount queries the union F0 estimate for the given
+// coordination seed.
+func (c *Client) DistinctCount(seed uint64) (float64, error) {
+	return c.Query(wire.Query{Kind: wire.QueryDistinct, HasSeed: true, Seed: seed})
+}
+
+// SumDistinct queries the duplicate-insensitive sum estimate for the
+// given coordination seed.
+func (c *Client) SumDistinct(seed uint64) (float64, error) {
+	return c.Query(wire.Query{Kind: wire.QuerySum, HasSeed: true, Seed: seed})
+}
+
+// Stats fetches the coordinator's introspection snapshot. The result
+// is decoded into out (pass a *server.Stats or any compatible
+// struct/map); pass nil to only check reachability.
+func (c *Client) Stats(out any) error {
+	return c.retried(func(conn net.Conn) error {
+		if err := wire.WriteFrame(conn, wire.MsgStats, nil); err != nil {
+			return err
+		}
+		typ, payload, err := c.readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.MsgStatsResult:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(payload, out)
+		case wire.MsgAck:
+			return ackError(payload)
+		default:
+			return fmt.Errorf("%w: unexpected %s reply to stats", ErrRejected, typ)
+		}
+	})
+}
+
+// retried runs op through the dial/backoff loop.
+func (c *Client) retried(op func(net.Conn) error) error {
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.backoff(attempt - 1))
+		}
+		err := c.roundTrip(op)
+		if err == nil {
+			return nil
+		}
+		if permanent(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: failed after %d attempts: %w", c.cfg.Attempts, lastErr)
+}
+
+// roundTrip dials, applies the per-operation deadline, and runs op.
+func (c *Client) roundTrip(op func(net.Conn) error) error {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout)); err != nil {
+		return err
+	}
+	return op(conn)
+}
+
+func (c *Client) readFrame(conn net.Conn) (wire.MsgType, []byte, error) {
+	typ, payload, err := wire.ReadFrame(conn, c.cfg.MaxPayload)
+	if errors.Is(err, wire.ErrVersion) {
+		// The reply is framed in a version we don't speak: the
+		// coordinator is from a different protocol generation.
+		return 0, nil, fmt.Errorf("%w: %v", ErrVersionMismatch, err)
+	}
+	return typ, payload, err
+}
+
+func (c *Client) readAck(conn net.Conn) error {
+	typ, payload, err := c.readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != wire.MsgAck {
+		return fmt.Errorf("%w: unexpected %s reply to push", ErrRejected, typ)
+	}
+	return ackError(payload)
+}
+
+// ackError maps an ack payload to nil or a typed error.
+func ackError(payload []byte) error {
+	ack, err := wire.DecodeAck(payload)
+	if err != nil {
+		return err
+	}
+	switch ack.Code {
+	case wire.AckOK:
+		return nil
+	case wire.AckVersionMismatch:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, ack.Detail)
+	case wire.AckSeedMismatch:
+		return fmt.Errorf("%w: %s", ErrSeedMismatch, ack.Detail)
+	default:
+		return fmt.Errorf("%w: %s: %s", ErrRejected, ack.Code, ack.Detail)
+	}
+}
+
+// permanent reports whether err is a protocol-level refusal that
+// retrying cannot fix.
+func permanent(err error) bool {
+	return errors.Is(err, ErrVersionMismatch) ||
+		errors.Is(err, ErrSeedMismatch) ||
+		errors.Is(err, ErrRejected)
+}
+
+// backoff returns the wait before the retry-th retry (retry ≥ 1):
+// BackoffBase·2^(retry-1) capped at BackoffMax, with the upper half
+// jittered so a fleet of sites recovering from the same coordinator
+// restart does not reconnect in lockstep.
+func (c *Client) backoff(retry int) time.Duration {
+	d := c.cfg.BackoffBase << (retry - 1)
+	if d <= 0 || d > c.cfg.BackoffMax { // <= 0 guards shift overflow
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.mu.Unlock()
+	return half + j
+}

@@ -1,0 +1,146 @@
+// Package distnet runs any distsim.Protocol over a real network: the
+// referee becomes a unionstreamd coordinator on a loopback TCP socket,
+// sites become goroutines that dial it and push their one-shot
+// messages through internal/client, and the answers come back as wire
+// queries. Because every coordinator in this repository absorbs
+// messages order-independently, the network run's estimates are
+// identical to the in-process simulator's on the same sources — the
+// equivalence the end-to-end tests assert byte-for-byte — while the
+// exported distsim.ByteAccountant keeps the communication accounting
+// comparable between the two transports.
+package distnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/distsim"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// Options tunes a network run. The zero value is fine for tests.
+type Options struct {
+	// Attempts and backoff shape per-site push retries; zero values
+	// take the client defaults.
+	Attempts    int
+	BackoffBase time.Duration
+	// ShutdownTimeout bounds the coordinator drain (default 10s).
+	ShutdownTimeout time.Duration
+}
+
+// Run executes the protocol over loopback TCP: it starts a
+// coordinator daemon on an ephemeral port, runs every site against its
+// source (in parallel goroutines when concurrent is true), pushes each
+// site's message over a real socket, queries the estimates, and shuts
+// the daemon down. The returned Result has the same shape and — for
+// this repository's order-independent protocols — the same values as
+// distsim.Run on the same sources.
+func Run(p distsim.Protocol, sources []stream.Source, concurrent bool) (*distsim.Result, error) {
+	return RunOptions(p, sources, concurrent, Options{})
+}
+
+// RunOptions is Run with explicit tuning.
+func RunOptions(p distsim.Protocol, sources []stream.Source, concurrent bool, opts Options) (*distsim.Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("distnet: no sources")
+	}
+	if opts.ShutdownTimeout <= 0 {
+		opts.ShutdownTimeout = 10 * time.Second
+	}
+
+	srv := server.New(server.Config{Opaque: p.NewCoordinator()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("distnet: listen: %w", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), opts.ShutdownTimeout)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	}()
+	addr := ln.Addr().String()
+
+	acct := distsim.NewByteAccountant()
+	var items atomic.Int64
+
+	runSite := func(i int, src stream.Source) error {
+		sk := p.NewSite(i)
+		var n int64
+		stream.Feed(src, func(it stream.Item) {
+			sk.Process(it)
+			n++
+		})
+		msg, err := sk.Message()
+		if err != nil {
+			return fmt.Errorf("distnet: site %d: %w", i, err)
+		}
+		cl := client.New(client.Config{
+			Addr:        addr,
+			Attempts:    opts.Attempts,
+			BackoffBase: opts.BackoffBase,
+			JitterSeed:  int64(i) + 1,
+		})
+		if _, err := cl.PushOpaque(msg); err != nil {
+			return fmt.Errorf("distnet: site %d push: %w", i, err)
+		}
+		acct.Record(i, len(msg))
+		items.Add(n)
+		return nil
+	}
+
+	if concurrent {
+		errs := make([]error, len(sources))
+		var wg sync.WaitGroup
+		for i, src := range sources {
+			wg.Add(1)
+			go func(i int, src stream.Source) {
+				defer wg.Done()
+				errs[i] = runSite(i, src)
+			}(i, src)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, src := range sources {
+			if err := runSite(i, src); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Every push was acked, so every message is absorbed: query.
+	cl := client.New(client.Config{Addr: addr, Attempts: opts.Attempts, BackoffBase: opts.BackoffBase})
+	distinct, err := cl.Query(wire.Query{Kind: wire.QueryDistinct})
+	if err != nil {
+		return nil, fmt.Errorf("distnet: distinct query: %w", err)
+	}
+	sum, err := cl.Query(wire.Query{Kind: wire.QuerySum})
+	if err != nil {
+		return nil, fmt.Errorf("distnet: sum query: %w", err)
+	}
+
+	res := &distsim.Result{
+		DistinctEstimate: distinct,
+		SumEstimate:      sum,
+		Stats: distsim.Stats{
+			Sites:          len(sources),
+			ItemsProcessed: items.Load(),
+		},
+	}
+	acct.FillStats(&res.Stats)
+	return res, nil
+}

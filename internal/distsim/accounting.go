@@ -1,0 +1,80 @@
+package distsim
+
+import "sync"
+
+// Accountant is the byte-accounting interface of the distributed
+// model: every transport — the in-process channel simulator here, the
+// loopback/real TCP transport in internal/distnet — records each
+// site's one-shot message through it, so experiments report identical
+// communication costs no matter how the messages physically traveled.
+type Accountant interface {
+	// Record notes that site sent one message of messageBytes bytes.
+	Record(site, messageBytes int)
+}
+
+// ByteAccountant is the standard Accountant: it tracks total and
+// per-site message bytes. It is safe for concurrent use — sites
+// finish (and therefore report) in arbitrary order.
+type ByteAccountant struct {
+	mu       sync.Mutex
+	perSite  map[int]int64
+	messages int
+	total    int64
+	maxMsg   int
+}
+
+// NewByteAccountant returns an empty accountant.
+func NewByteAccountant() *ByteAccountant {
+	return &ByteAccountant{perSite: make(map[int]int64)}
+}
+
+// Record implements Accountant.
+func (a *ByteAccountant) Record(site, messageBytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.messages++
+	a.total += int64(messageBytes)
+	a.perSite[site] += int64(messageBytes)
+	if messageBytes > a.maxMsg {
+		a.maxMsg = messageBytes
+	}
+}
+
+// Messages returns the number of messages recorded.
+func (a *ByteAccountant) Messages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.messages
+}
+
+// TotalBytes returns the total communication across all sites.
+func (a *ByteAccountant) TotalBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// MaxMessageBytes returns the largest single message recorded.
+func (a *ByteAccountant) MaxMessageBytes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maxMsg
+}
+
+// SiteBytes returns the bytes recorded for one site.
+func (a *ByteAccountant) SiteBytes(site int) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.perSite[site]
+}
+
+// FillStats copies the accounting totals into st's communication
+// fields (Messages, BytesSent, MaxSiteBytes), leaving the rest of st
+// untouched.
+func (a *ByteAccountant) FillStats(st *Stats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st.Messages = a.messages
+	st.BytesSent = a.total
+	st.MaxSiteBytes = a.maxMsg
+}

@@ -117,6 +117,7 @@ func Run(p Protocol, sources []stream.Source, concurrent bool) (*Result, error) 
 
 	coord := p.NewCoordinator()
 	res := &Result{Stats: Stats{Sites: len(sources)}}
+	acct := NewByteAccountant()
 	for m := range msgs {
 		if m.err != nil {
 			return nil, fmt.Errorf("distsim: site %d: %w", m.site, m.err)
@@ -125,12 +126,9 @@ func Run(p Protocol, sources []stream.Source, concurrent bool) (*Result, error) 
 			return nil, fmt.Errorf("distsim: coordinator absorbing site %d: %w", m.site, err)
 		}
 		res.Stats.ItemsProcessed += m.items
-		res.Stats.Messages++
-		res.Stats.BytesSent += int64(len(m.data))
-		if len(m.data) > res.Stats.MaxSiteBytes {
-			res.Stats.MaxSiteBytes = len(m.data)
-		}
+		acct.Record(m.site, len(m.data))
 	}
+	acct.FillStats(&res.Stats)
 	res.DistinctEstimate = coord.EstimateDistinct()
 	res.SumEstimate = coord.EstimateSum()
 	return res, nil

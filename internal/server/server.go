@@ -1,0 +1,540 @@
+// Package server implements unionstreamd's coordinator: the paper's
+// referee as a long-running network daemon. Sites connect over TCP,
+// push their one-shot sketch messages (framed by internal/wire), and
+// the daemon merges them into per-configuration groups it can answer
+// union queries from — distinct counts, duplicate-insensitive sums,
+// and predicate counts — exactly as the in-process simulator does, but
+// across machines.
+//
+// # Concurrency model
+//
+// Each accepted connection gets a reader goroutine. Absorb work
+// (decode + merge) flows through a bounded worker pool so a burst of
+// sites cannot stampede the merge path; each merge group is guarded by
+// its own mutex. Because coordinated sketches merge commutatively and
+// associatively, the group state after N concurrent absorbs is
+// bit-identical to absorbing the same messages serially in any order —
+// the server tests assert this byte-for-byte under the race detector.
+//
+// # Shutdown
+//
+// Shutdown stops the accept loop, wakes blocked readers, lets every
+// in-flight message finish absorbing (and its ack get written), then
+// retires the worker pool. cmd/unionstreamd wires this to SIGTERM.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// OpaqueCoordinator absorbs protocol-defined site messages and answers
+// union estimates. distsim.Coordinator satisfies it structurally,
+// which is what lets internal/distnet run any simulator protocol over
+// this server without the server knowing the message format.
+type OpaqueCoordinator interface {
+	Absorb(msg []byte) error
+	EstimateDistinct() float64
+	EstimateSum() float64
+}
+
+// Config parameterizes a Server. The zero value listens with default
+// limits and accepts sketches of any coordination seed.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe (e.g.
+	// ":7600"). Ignored by Serve, which takes a listener.
+	Addr string
+	// Workers bounds the absorb pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxPayload bounds accepted frame payloads in bytes; 0 selects
+	// wire.DefaultMaxPayload.
+	MaxPayload uint32
+	// RequireSeed, when non-nil, rejects pushes whose sketch seed
+	// differs — a deployment where the fleet's coordination seed is
+	// pinned and an uncoordinated site must hear a typed refusal, not
+	// silently form its own group.
+	RequireSeed *uint64
+	// Opaque, when set, serves MsgOpaque pushes by delegating to this
+	// coordinator (absorbs serialized under an internal lock). Queries
+	// answer from it when the server holds no sketch groups.
+	Opaque OpaqueCoordinator
+	// Logf, when set, receives one line per lifecycle event and
+	// per-connection error (e.g. log.Printf). Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// group is one mergeable family of sketches: everything pushed with an
+// identical EstimatorConfig (seed, capacity, copies, family, raise).
+type group struct {
+	mu       sync.Mutex
+	est      *core.Estimator
+	absorbed int64
+	bytes    int64
+}
+
+// absorbJob is one queued push. The reader goroutine that enqueued it
+// blocks on done, then writes the ack on its own connection — so acks
+// stay ordered per connection while absorbs from different sites run
+// in parallel up to the pool bound.
+type absorbJob struct {
+	payload []byte
+	opaque  bool
+	ack     wire.Ack
+	done    chan struct{}
+}
+
+// Server is the coordinator daemon. Create with New, start with
+// ListenAndServe or Serve, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	jobs chan *absorbJob
+	quit chan struct{}
+
+	workerWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	mu       sync.Mutex // guards groups map and listener/conn registry
+	groups   map[core.EstimatorConfig]*group
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	started  bool
+	shutdown bool
+
+	opaqueMu       sync.Mutex
+	opaqueAbsorbed int64
+	opaqueBytes    int64
+
+	stats counters
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxPayload == 0 {
+		cfg.MaxPayload = wire.DefaultMaxPayload
+	}
+	return &Server{
+		cfg:    cfg,
+		jobs:   make(chan *absorbJob),
+		quit:   make(chan struct{}),
+		groups: make(map[core.EstimatorConfig]*group),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal accept
+// error). It owns ln and closes it on return.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	if s.started {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve called twice")
+	}
+	s.started = true
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	s.logf("unionstreamd: serving on %s (%d absorb workers, %d byte frame limit)",
+		ln.Addr(), s.cfg.Workers, s.cfg.MaxPayload)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil // Shutdown closed the listener.
+			default:
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.stats.connsAccepted.Add(1)
+		s.stats.activeConns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the bound listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server: it stops accepting, wakes connection
+// readers, waits (bounded by ctx) for every in-flight message to be
+// absorbed and acked, then stops the worker pool. It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	close(s.quit)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Wake every reader blocked between frames; handlers treat a
+	// deadline error after quit as a clean goodbye.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	started := s.started
+	s.mu.Unlock()
+	s.logf("unionstreamd: shutting down, draining connections")
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+	if started {
+		close(s.jobs)
+		s.workerWG.Wait()
+	}
+	s.logf("unionstreamd: shutdown complete (%d sketches absorbed)", s.stats.absorbed.Load())
+	return err
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for job := range s.jobs {
+		if job.opaque {
+			job.ack = s.absorbOpaque(job.payload)
+		} else {
+			job.ack = s.absorbSketch(job.payload)
+		}
+		close(job.done)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.stats.activeConns.Add(-1)
+		s.connWG.Done()
+	}()
+	for {
+		typ, payload, err := wire.ReadFrame(conn, s.cfg.MaxPayload)
+		if err != nil {
+			switch {
+			case err == io.EOF:
+				return // site hung up cleanly between frames
+			case s.quitting() || isTimeout(err):
+				return // shutdown woke us
+			case errors.Is(err, wire.ErrVersion):
+				// A well-formed frame from a different protocol
+				// version: answer with the typed refusal (framed in
+				// OUR version — the header layout is shared) so the
+				// site surfaces ErrVersionMismatch instead of junk.
+				s.stats.rejected.Add(1)
+				s.writeAck(conn, wire.Ack{Code: wire.AckVersionMismatch,
+					Detail: fmt.Sprintf("server speaks wire version %d", wire.Version)})
+				return
+			default:
+				s.stats.rejected.Add(1)
+				s.logf("unionstreamd: %s: dropping connection: %v", conn.RemoteAddr(), err)
+				s.writeAck(conn, wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()})
+				return
+			}
+		}
+		s.stats.framesRead.Add(1)
+		s.stats.bytesRead.Add(int64(wire.HeaderSize + len(payload)))
+
+		switch typ {
+		case wire.MsgPush, wire.MsgOpaque:
+			job := &absorbJob{payload: payload, opaque: typ == wire.MsgOpaque, done: make(chan struct{})}
+			select {
+			case s.jobs <- job:
+				<-job.done
+			case <-s.quit:
+				s.writeAck(conn, wire.Ack{Code: wire.AckError, Detail: "server shutting down"})
+				return
+			}
+			if job.ack.Code != wire.AckOK {
+				s.stats.rejected.Add(1)
+			}
+			if !s.writeAck(conn, job.ack) {
+				return
+			}
+		case wire.MsgQuery:
+			s.serveQuery(conn, payload)
+		case wire.MsgStats:
+			s.serveStats(conn)
+		default:
+			// MsgAck / MsgQueryResult / MsgStatsResult travel
+			// server→client only.
+			s.stats.rejected.Add(1)
+			if !s.writeAck(conn, wire.Ack{Code: wire.AckError,
+				Detail: fmt.Sprintf("unexpected client message type %s", typ)}) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) quitting() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *Server) writeAck(conn net.Conn, a wire.Ack) bool {
+	if err := wire.WriteFrame(conn, wire.MsgAck, a.Encode()); err != nil {
+		s.logf("unionstreamd: %s: writing ack: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+// absorbSketch decodes a pushed estimator sketch and merges it into
+// its configuration's group, creating the group on first contact.
+func (s *Server) absorbSketch(payload []byte) wire.Ack {
+	var est core.Estimator
+	if err := est.UnmarshalBinary(payload); err != nil {
+		return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
+	}
+	cfg := est.Config()
+	if s.cfg.RequireSeed != nil && cfg.Seed != *s.cfg.RequireSeed {
+		return wire.Ack{Code: wire.AckSeedMismatch,
+			Detail: fmt.Sprintf("sketch seed %d, coordinator requires %d", cfg.Seed, *s.cfg.RequireSeed)}
+	}
+
+	s.mu.Lock()
+	g, ok := s.groups[cfg]
+	if !ok {
+		g = &group{}
+		s.groups[cfg] = g
+	}
+	s.mu.Unlock()
+
+	start := time.Now()
+	g.mu.Lock()
+	var err error
+	if g.est == nil {
+		g.est = &est
+	} else {
+		err = g.est.Merge(&est)
+	}
+	if err == nil {
+		g.absorbed++
+		g.bytes += int64(len(payload))
+	}
+	g.mu.Unlock()
+	if err != nil {
+		// Unreachable while groups are keyed by full config, but a
+		// future key relaxation must not turn this into a silent drop.
+		if errors.Is(err, core.ErrMismatch) {
+			return wire.Ack{Code: wire.AckSeedMismatch, Detail: err.Error()}
+		}
+		return wire.Ack{Code: wire.AckError, Detail: err.Error()}
+	}
+	s.recordMerge(time.Since(start), int64(len(payload)))
+	return wire.Ack{Code: wire.AckOK}
+}
+
+func (s *Server) absorbOpaque(payload []byte) wire.Ack {
+	if s.cfg.Opaque == nil {
+		return wire.Ack{Code: wire.AckUnsupported, Detail: "no opaque coordinator configured"}
+	}
+	start := time.Now()
+	s.opaqueMu.Lock()
+	err := s.cfg.Opaque.Absorb(payload)
+	if err == nil {
+		s.opaqueAbsorbed++
+		s.opaqueBytes += int64(len(payload))
+	}
+	s.opaqueMu.Unlock()
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrMismatch):
+			return wire.Ack{Code: wire.AckSeedMismatch, Detail: err.Error()}
+		case errors.Is(err, core.ErrCorrupt):
+			return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
+		default:
+			return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
+		}
+	}
+	s.recordMerge(time.Since(start), int64(len(payload)))
+	return wire.Ack{Code: wire.AckOK}
+}
+
+func (s *Server) serveQuery(conn net.Conn, payload []byte) {
+	q, err := wire.DecodeQuery(payload)
+	if err != nil {
+		s.stats.rejected.Add(1)
+		s.writeAck(conn, wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()})
+		return
+	}
+	v, qerr := s.answer(q)
+	if qerr != nil {
+		s.stats.rejected.Add(1)
+		s.writeAck(conn, wire.Ack{Code: wire.AckError, Detail: qerr.Error()})
+		return
+	}
+	s.stats.queries.Add(1)
+	if err := wire.WriteFrame(conn, wire.MsgQueryResult, wire.EncodeQueryResult(v)); err != nil {
+		s.logf("unionstreamd: %s: writing query result: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// answer evaluates q against the matching merge group, or against the
+// opaque coordinator when no sketch groups exist.
+func (s *Server) answer(q wire.Query) (float64, error) {
+	pred, err := q.Predicate()
+	if err != nil {
+		return 0, err
+	}
+	g, err := s.selectGroup(q)
+	if err != nil {
+		return 0, err
+	}
+	if g == nil {
+		// Opaque mode: the protocol coordinator answers the two
+		// estimates every distsim.Coordinator supports.
+		s.opaqueMu.Lock()
+		defer s.opaqueMu.Unlock()
+		switch q.Kind {
+		case wire.QueryDistinct:
+			return s.cfg.Opaque.EstimateDistinct(), nil
+		case wire.QuerySum:
+			return s.cfg.Opaque.EstimateSum(), nil
+		default:
+			return 0, fmt.Errorf("server: %s queries unsupported by the opaque coordinator", q.Kind)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch q.Kind {
+	case wire.QueryDistinct:
+		return g.est.EstimateDistinct(), nil
+	case wire.QuerySum:
+		return g.est.EstimateSum(), nil
+	case wire.QueryCountWhere:
+		return g.est.EstimateCountWhere(pred), nil
+	case wire.QuerySumWhere:
+		return g.est.EstimateSumWhere(pred), nil
+	default:
+		return 0, fmt.Errorf("server: unknown query kind %d", q.Kind)
+	}
+}
+
+// selectGroup resolves the query's target group. A nil group with nil
+// error means "answer from the opaque coordinator".
+func (s *Server) selectGroup(q wire.Query) (*group, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q.HasSeed {
+		var found *group
+		for cfg, g := range s.groups {
+			if cfg.Seed == q.Seed {
+				if found != nil {
+					return nil, fmt.Errorf("server: seed %d matches several groups (differing capacity/copies); pin a full config", q.Seed)
+				}
+				found = g
+			}
+		}
+		if found == nil {
+			return nil, fmt.Errorf("server: no sketches absorbed for seed %d", q.Seed)
+		}
+		return found, nil
+	}
+	switch len(s.groups) {
+	case 0:
+		if s.cfg.Opaque != nil {
+			return nil, nil
+		}
+		return nil, errors.New("server: no sketches absorbed yet")
+	case 1:
+		for _, g := range s.groups {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("server: %d distinct sketch configurations in play; query must name a seed", len(s.groups))
+}
+
+// SnapshotGroup returns the marshaled merged sketch for the group with
+// the given coordination seed — the exact bytes a site would have sent
+// had it observed the union itself. Tests use it to assert that
+// concurrent absorption is bit-identical to serial merging; operators
+// can use it to checkpoint a group.
+func (s *Server) SnapshotGroup(seed uint64) ([]byte, error) {
+	g, err := s.selectGroup(wire.Query{HasSeed: true, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.est.MarshalBinary()
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// counters are the server's hot-path metrics, all atomics so the data
+// path never takes a stats lock. Merge latency keeps a total and a
+// CAS-maintained max rather than a histogram — enough for the /statsz
+// use case without per-merge allocation.
+type counters struct {
+	connsAccepted atomic.Int64
+	activeConns   atomic.Int64
+	framesRead    atomic.Int64
+	bytesRead     atomic.Int64
+	absorbed      atomic.Int64
+	sketchBytes   atomic.Int64
+	queries       atomic.Int64
+	rejected      atomic.Int64
+	merges        atomic.Int64
+	mergeNanos    atomic.Int64
+	mergeNanosMax atomic.Int64
+}
+
+func (s *Server) recordMerge(d time.Duration, payloadBytes int64) {
+	s.stats.absorbed.Add(1)
+	s.stats.sketchBytes.Add(payloadBytes)
+	s.stats.merges.Add(1)
+	ns := d.Nanoseconds()
+	s.stats.mergeNanos.Add(ns)
+	for {
+		old := s.stats.mergeNanosMax.Load()
+		if ns <= old || s.stats.mergeNanosMax.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// GroupStats describes one merge group in a Stats snapshot.
+type GroupStats struct {
+	// Seed is the group's coordination seed.
+	Seed uint64 `json:"seed"`
+	// Capacity and Copies are the sketch dimensions.
+	Capacity int `json:"capacity"`
+	Copies   int `json:"copies"`
+	// Family names the hash family.
+	Family string `json:"family"`
+	// Epsilon and Delta are the accuracy targets the dimensions imply
+	// (per CapacityForEpsilon / CopiesForDelta).
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// SketchesAbsorbed counts site messages merged into this group.
+	SketchesAbsorbed int64 `json:"sketches_absorbed"`
+	// SketchBytes totals their payload bytes — the paper's
+	// communication cost, as received.
+	SketchBytes int64 `json:"sketch_bytes"`
+	// DistinctEstimate is the group's current union F0 estimate.
+	DistinctEstimate float64 `json:"distinct_estimate"`
+}
+
+// Stats is the introspection snapshot served at /statsz and over
+// MsgStats frames.
+type Stats struct {
+	ConnsAccepted    int64        `json:"conns_accepted"`
+	ActiveConns      int64        `json:"active_conns"`
+	FramesRead       int64        `json:"frames_read"`
+	BytesRead        int64        `json:"bytes_read"`
+	SketchesAbsorbed int64        `json:"sketches_absorbed"`
+	SketchBytes      int64        `json:"sketch_bytes"`
+	QueriesServed    int64        `json:"queries_served"`
+	Rejected         int64        `json:"rejected"`
+	Merges           int64        `json:"merges"`
+	MergeNanosTotal  int64        `json:"merge_nanos_total"`
+	MergeNanosMax    int64        `json:"merge_nanos_max"`
+	MergeNanosMean   float64      `json:"merge_nanos_mean"`
+	OpaqueAbsorbed   int64        `json:"opaque_absorbed,omitempty"`
+	OpaqueBytes      int64        `json:"opaque_bytes,omitempty"`
+	Groups           []GroupStats `json:"groups"`
+}
+
+// deltaForCopies inverts core.CopiesForDelta: the failure probability
+// a median over r copies targets (r = 1 + 2·log2(1/δ) rounded up).
+func deltaForCopies(r int) float64 {
+	if r <= 1 {
+		return 0.5
+	}
+	return math.Pow(0.5, float64((r-1)/2))
+}
+
+// Stats returns a consistent snapshot of the server's counters and
+// per-group state. Groups are ordered by seed for stable output.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		ConnsAccepted:    s.stats.connsAccepted.Load(),
+		ActiveConns:      s.stats.activeConns.Load(),
+		FramesRead:       s.stats.framesRead.Load(),
+		BytesRead:        s.stats.bytesRead.Load(),
+		SketchesAbsorbed: s.stats.absorbed.Load(),
+		SketchBytes:      s.stats.sketchBytes.Load(),
+		QueriesServed:    s.stats.queries.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		Merges:           s.stats.merges.Load(),
+		MergeNanosTotal:  s.stats.mergeNanos.Load(),
+		MergeNanosMax:    s.stats.mergeNanosMax.Load(),
+	}
+	if st.Merges > 0 {
+		st.MergeNanosMean = float64(st.MergeNanosTotal) / float64(st.Merges)
+	}
+
+	s.opaqueMu.Lock()
+	st.OpaqueAbsorbed = s.opaqueAbsorbed
+	st.OpaqueBytes = s.opaqueBytes
+	s.opaqueMu.Unlock()
+
+	s.mu.Lock()
+	groups := make(map[core.EstimatorConfig]*group, len(s.groups))
+	for cfg, g := range s.groups {
+		groups[cfg] = g
+	}
+	s.mu.Unlock()
+	for cfg, g := range groups {
+		g.mu.Lock()
+		gs := GroupStats{
+			Seed:             cfg.Seed,
+			Capacity:         cfg.Capacity,
+			Copies:           cfg.Copies,
+			Family:           cfg.Family.String(),
+			Epsilon:          core.EpsilonForCapacity(cfg.Capacity),
+			Delta:            deltaForCopies(cfg.Copies),
+			SketchesAbsorbed: g.absorbed,
+			SketchBytes:      g.bytes,
+		}
+		if g.est != nil {
+			gs.DistinctEstimate = g.est.EstimateDistinct()
+		}
+		g.mu.Unlock()
+		st.Groups = append(st.Groups, gs)
+	}
+	sort.Slice(st.Groups, func(i, j int) bool {
+		a, b := st.Groups[i], st.Groups[j]
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Capacity < b.Capacity
+	})
+	return st
+}
+
+// serveStats answers a MsgStats frame with the JSON snapshot.
+func (s *Server) serveStats(conn net.Conn) {
+	body, err := json.Marshal(s.Stats())
+	if err != nil {
+		s.writeAck(conn, wire.Ack{Code: wire.AckError, Detail: err.Error()})
+		return
+	}
+	s.stats.queries.Add(1)
+	if werr := wire.WriteFrame(conn, wire.MsgStatsResult, body); werr != nil {
+		s.logf("unionstreamd: %s: writing stats: %v", conn.RemoteAddr(), werr)
+	}
+}
+
+// StatszHandler returns an http.Handler serving the same snapshot as
+// JSON — mount it at /statsz next to the TCP listener.
+func (s *Server) StatszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

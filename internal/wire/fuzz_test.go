@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode mirrors internal/core's FuzzSamplerUnmarshal for the
+// network framing: arbitrary bytes must either be rejected or decode to
+// a frame that re-encodes to the identical prefix of the input, with
+// DecodeFrame and ReadFrame always agreeing. The seed corpus under
+// testdata/fuzz runs on every `go test`; explore further with
+//
+//	go test -fuzz=FuzzWireDecode ./internal/wire
+func FuzzWireDecode(f *testing.F) {
+	f.Add(EncodeFrame(MsgPush, []byte("GT\x01sketch bytes")))
+	f.Add(EncodeFrame(MsgAck, Ack{Code: AckSeedMismatch, Detail: "seed 7"}.Encode()))
+	f.Add(AppendFrame(EncodeFrame(MsgQuery, Query{Kind: QueryDistinct, HasSeed: true, Seed: 42}.Encode()), MsgStats, nil))
+	f.Add([]byte{})
+	f.Add([]byte{Magic0, Magic1, Version})
+	f.Add(EncodeFrame(MsgOpaque, nil)[:HeaderSize-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 16
+		typ, payload, rest, err := DecodeFrame(data, limit)
+		rtyp, rpayload, rerr := ReadFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			// The stream reader may fail with a differently-worded
+			// error, but it must not succeed where the buffer decoder
+			// refused (modulo EOF on an empty input).
+			if rerr == nil {
+				t.Fatalf("DecodeFrame rejected (%v) but ReadFrame accepted", err)
+			}
+			return
+		}
+		if rerr != nil {
+			t.Fatalf("DecodeFrame accepted but ReadFrame rejected: %v", rerr)
+		}
+		if rtyp != typ || !bytes.Equal(rpayload, payload) {
+			t.Fatalf("decoders disagree: (%v, %d bytes) vs (%v, %d bytes)", typ, len(payload), rtyp, len(rpayload))
+		}
+		// Round trip: re-encoding the decoded frame must reproduce the
+		// consumed input bytes exactly.
+		re := EncodeFrame(typ, payload)
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode differs from consumed input")
+		}
+		// Typed payloads must never panic on decode, valid or not.
+		switch typ {
+		case MsgAck:
+			if a, err := DecodeAck(payload); err == nil {
+				if _, err := DecodeAck(a.Encode()); err != nil {
+					t.Fatalf("ack does not round-trip: %v", err)
+				}
+			}
+		case MsgQuery:
+			if q, err := DecodeQuery(payload); err == nil {
+				if q.Encode() == nil {
+					t.Fatal("query re-encode nil")
+				}
+				_, _ = q.Predicate()
+			}
+		case MsgQueryResult:
+			_, _ = DecodeQueryResult(payload)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+//go:build ignore
+
+// gen_corpus regenerates the FuzzWireDecode seed corpus under
+// testdata/fuzz/FuzzWireDecode. Run from this directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	seeds := map[string][]byte{
+		"push-sketch": wire.EncodeFrame(wire.MsgPush, []byte("GT\x01\x00\x00\x2a\x00\x00\x00\x00\x00\x00\x00\x10\x00\x00")),
+		"ack-seed-mismatch": wire.EncodeFrame(wire.MsgAck,
+			wire.Ack{Code: wire.AckSeedMismatch, Detail: "sketch seed 7, coordinator requires 42"}.Encode()),
+		"query-distinct": wire.EncodeFrame(wire.MsgQuery,
+			wire.Query{Kind: wire.QueryDistinct, HasSeed: true, Seed: 42}.Encode()),
+		"query-predicate": wire.EncodeFrame(wire.MsgQuery,
+			wire.Query{Kind: wire.QueryCountWhere, HasSeed: true, Seed: 42, Pred: wire.PredMod, A: 10, B: 3}.Encode()),
+		"two-frames": wire.AppendFrame(wire.EncodeFrame(wire.MsgStats, nil),
+			wire.MsgQueryResult, wire.EncodeQueryResult(12345.5)),
+		"truncated-header": wire.EncodeFrame(wire.MsgOpaque, []byte("opaque"))[:wire.HeaderSize-2],
+		"bad-version":      {wire.Magic0, wire.Magic1, 99, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", filepath.Join(dir, name))
+	}
+}
