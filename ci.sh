@@ -1,19 +1,75 @@
 #!/usr/bin/env bash
-# ci.sh — the repository's tier-1 gate, plus the race detector.
+# ci.sh — the repository's tier-1 gate, plus the race detector, the
+# unionlint static-analysis suite, and a short fuzz smoke run.
 #
 # The networked coordinator (internal/server) absorbs sketches from
 # concurrent connections through a worker pool; every change must keep
 # that path race-clean, so CI always runs the full suite under -race.
+# unionlint (cmd/unionlint, see README "Static analysis") enforces the
+# invariants the compiler can't: coordinated seeding, documented mutex
+# guards, the %w error contract at the wire boundary, float comparison
+# hygiene, and hot-path allocation budgets.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Pinned versions for the optional third-party analyzers. This CI runs
+# offline: the tools are used when already present on PATH (or after
+# CI_INSTALL_TOOLS=1 fetches them on a networked runner) and skipped
+# otherwise, so the gate never depends on network access.
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2024.1.1}"
+GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.3}"
+
 echo "== go vet =="
 go vet ./...
+
+echo "== unionlint =="
+UNIONLINT="$(go env GOPATH)/bin/unionlint"
+go build -o "$UNIONLINT" ./cmd/unionlint
+# Run through `go vet -vettool` so test compilations are analyzed too
+# and results cache per package. Diagnostics are captured and regrouped
+# into a per-analyzer summary when the gate fails.
+UNIONLINT_OUT="$(mktemp)"
+trap 'rm -f "$UNIONLINT_OUT"' EXIT
+if ! go vet -vettool="$UNIONLINT" ./... 2>"$UNIONLINT_OUT"; then
+    cat "$UNIONLINT_OUT"
+    echo
+    "$UNIONLINT" -summarize <"$UNIONLINT_OUT"
+    echo "ci.sh: unionlint found violations (fix them, annotate" \
+         "'unionlint:allow <analyzer> <reason>', or run" \
+         "'go run ./cmd/unionlint -fix ./...' for %w rewrites)"
+    exit 1
+fi
+
+echo "== staticcheck (optional, pinned $STATICCHECK_VERSION) =="
+if [[ "${CI_INSTALL_TOOLS:-0}" == "1" ]] && ! command -v staticcheck >/dev/null; then
+    go install "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"
+fi
+if command -v staticcheck >/dev/null; then
+    staticcheck ./...
+else
+    echo "staticcheck not on PATH; skipping (set CI_INSTALL_TOOLS=1 on a networked runner)"
+fi
+
+echo "== govulncheck (optional, pinned $GOVULNCHECK_VERSION) =="
+if [[ "${CI_INSTALL_TOOLS:-0}" == "1" ]] && ! command -v govulncheck >/dev/null; then
+    go install "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION"
+fi
+if command -v govulncheck >/dev/null; then
+    govulncheck ./...
+else
+    echo "govulncheck not on PATH; skipping (set CI_INSTALL_TOOLS=1 on a networked runner)"
+fi
 
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke: FuzzWireDecode (10s) =="
+# A short bounded run of the wire-format fuzzer: enough to catch a
+# decoder regression on every CI pass without turning the gate into a
+# fuzzing campaign.
+go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime=10s ./internal/wire
 
 echo "ci.sh: all checks passed"

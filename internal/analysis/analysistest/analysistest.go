@@ -1,0 +1,215 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata directory and checks its diagnostics against `// want`
+// comments, after the pattern of golang.org/x/tools'
+// go/analysis/analysistest.
+//
+// Layout: testdata/src/<import/path>/*.go, loaded as package
+// <import/path> (so scope-sensitive analyzers see realistic paths).
+// Expectations are comments of the form
+//
+//	expr // want "regexp"
+//	expr // want "first" "second"
+//
+// Every diagnostic must match a want on its line, and every want must
+// be matched by at least one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// Run loads each pkgPath from dir/src and applies a to it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		runOne(t, dir, a, path)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("%s: no Go files in %s", pkgPath, pkgDir)
+	}
+	fset := token.NewFileSet()
+	files, err := driver.ParseFiles(fset, filenames)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	pkg, err := driver.TypeCheck(fset, pkgPath, files, stdlibLookup(t, files), "")
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	findings, err := driver.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	checkWants(t, fset, files, findings)
+}
+
+// want is one expectation.
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding) {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ws, err := parseWants(text[len("want "):])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				key := lineKey{pos.Filename, pos.Line}
+				wants[key] = append(wants[key], ws...)
+			}
+		}
+	}
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		var hit *want
+		for _, w := range wants[key] {
+			if w.re.MatchString(f.Diag.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", f.Pos, f.Analyzer, f.Diag.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.raw)
+			}
+		}
+	}
+}
+
+// parseWants parses a sequence of quoted regexps.
+func parseWants(s string) ([]*want, error) {
+	var out []*want
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		// Find the end of the quoted string, honoring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &want{re: re, raw: raw})
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}
+
+// stdlibLookup resolves testdata imports (standard library only) to
+// export data via one cached `go list` sweep per process.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+func stdlibLookup(t *testing.T, files []*ast.File) driver.ExportLookup {
+	t.Helper()
+	var need []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path != "" && path != "unsafe" {
+				need = append(need, path)
+			}
+		}
+	}
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var miss []string
+	for _, p := range need {
+		if _, ok := exportCache[p]; !ok {
+			miss = append(miss, p)
+		}
+	}
+	if len(miss) > 0 {
+		pkgs, err := driver.GoList(".", miss...)
+		if err != nil {
+			t.Fatalf("resolving testdata imports: %v", err)
+		}
+		for path, export := range driver.ExportMap(pkgs) {
+			exportCache[path] = export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportCache[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("testdata import %q not resolved", path)
+		}
+		return os.Open(file)
+	}
+}

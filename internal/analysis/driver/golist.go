@@ -1,0 +1,138 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the slice of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path, Dir string }
+}
+
+// GoList runs `go list -deps -export -json` for patterns in dir and
+// decodes the package stream. Export data is compiled (from cache) as
+// a side effect, so every dependency can be imported without source
+// re-typechecking.
+func GoList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Standard,Export,GoFiles,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v (stderr: %s)", err, stderr.String())
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// ExportMap extracts importPath→exportFile from a listed package set.
+func ExportMap(pkgs []*listedPackage) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// LoadModulePackages loads, parses and type-checks every non-test
+// package matched by patterns that belongs to the enclosing module
+// (identified from dir's go.mod). Test compilations are covered by the
+// `go vet -vettool` front end, which the go command feeds test
+// variants natively.
+func LoadModulePackages(dir string, patterns ...string) ([]*Package, error) {
+	modRoot, modPath, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := GoList(modRoot, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := ExportMap(listed)
+	lookup := FileLookup(nil, exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil || lp.Module.Path != modPath || len(lp.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var filenames []string
+		for _, f := range lp.GoFiles {
+			filenames = append(filenames, filepath.Join(lp.Dir, f))
+		}
+		files, err := ParseFiles(fset, filenames)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, files, lookup, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			return dir, modulePath(data), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range bytes.Split(gomod, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if rest, ok := bytes.CutPrefix(line, []byte("module")); ok {
+			return string(bytes.Trim(bytes.TrimSpace(rest), `"`))
+		}
+	}
+	return ""
+}

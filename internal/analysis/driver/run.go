@@ -1,0 +1,189 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Finding is one diagnostic located in file space.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Diag     analysis.Diagnostic
+	Fset     *token.FileSet
+}
+
+// RunAnalyzers runs every analyzer over pkg and returns the findings.
+func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Diag:     d,
+				Fset:     pkg.Fset,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+}
+
+// PrintPlain writes findings one per line as "file:line:col: [name]
+// message" — the format the vet front end relays and -summarize
+// re-groups.
+func PrintPlain(w io.Writer, fs []Finding) {
+	for _, f := range fs {
+		fmt.Fprintf(w, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Diag.Message)
+	}
+}
+
+// PrintGrouped writes a per-analyzer summary: a header with the count
+// for each analyzer that fired, then its findings as file:line lines.
+func PrintGrouped(w io.Writer, fs []Finding) {
+	byName := map[string][]Finding{}
+	var names []string
+	for _, f := range fs {
+		if _, ok := byName[f.Analyzer]; !ok {
+			names = append(names, f.Analyzer)
+		}
+		byName[f.Analyzer] = append(byName[f.Analyzer], f)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		fmt.Fprintf(w, "-- %s: %d finding(s)\n", name, len(group))
+		for _, f := range group {
+			fmt.Fprintf(w, "   %s: %s\n", f.Pos, f.Diag.Message)
+			for _, fix := range f.Diag.SuggestedFixes {
+				fmt.Fprintf(w, "      fix available: %s (run unionlint -fix)\n", fix.Message)
+			}
+		}
+	}
+}
+
+// Summarize reads plain "file:line:col: [name] message" lines (as
+// emitted by the vet mode, possibly interleaved with go vet's own "#
+// package" headers) and prints the grouped per-analyzer summary.
+func Summarize(r io.Reader, w io.Writer) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	type line struct{ loc, name, msg string }
+	byName := map[string][]line{}
+	var names []string
+	seen := map[string]bool{}
+	for _, l := range strings.Split(string(data), "\n") {
+		l = strings.TrimSpace(l)
+		open := strings.Index(l, "[")
+		end := strings.Index(l, "]")
+		if open < 0 || end < open || !strings.HasSuffix(strings.TrimSpace(l[:open]), ":") {
+			continue
+		}
+		name := l[open+1 : end]
+		loc := strings.TrimSuffix(strings.TrimSpace(l[:open]), ":")
+		msg := strings.TrimSpace(l[end+1:])
+		key := loc + name + msg // vet analyzes test variants too; dedup
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], line{loc, name, msg})
+	}
+	sort.Strings(names)
+	total := 0
+	for _, name := range names {
+		group := byName[name]
+		total += len(group)
+		fmt.Fprintf(w, "-- %s: %d finding(s)\n", name, len(group))
+		for _, l := range group {
+			fmt.Fprintf(w, "   %s: %s\n", l.loc, l.msg)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(w, "unionlint: %d finding(s) across %d analyzer(s)\n", total, len(names))
+	}
+	return nil
+}
+
+// ApplyFixes applies every suggested fix carried by fs to the files on
+// disk, latest offsets first so earlier edits do not shift later ones.
+// It returns the number of edits applied.
+func ApplyFixes(fs []Finding) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range fs {
+		for _, fix := range f.Diag.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := f.Fset.Position(te.Pos)
+				end := f.Fset.Position(te.End)
+				if start.Filename == "" || start.Filename != end.Filename {
+					continue
+				}
+				perFile[start.Filename] = append(perFile[start.Filename],
+					edit{start.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	applied := 0
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prev := len(src) + 1
+		for _, e := range edits {
+			if e.end > prev || e.start > e.end || e.end > len(src) {
+				continue // overlapping or out-of-range edit: skip
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+			prev = e.start
+			applied++
+		}
+		if err := os.WriteFile(name, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,124 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for
+// `go vet -vettool` tools (x/tools unitchecker.Config). Fields we do
+// not consume are still listed so decoding stays strict-compatible.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the `-V=full` handshake: the go command
+// hashes this line into its action cache key, so it must change when
+// the tool's behavior does — we hash the executable itself.
+func PrintVersion(w io.Writer, progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s\n", progname, id)
+}
+
+// PrintFlagDefs implements the `-flags` handshake: a JSON array
+// describing the tool's flags, which the go command splices into its
+// own vet flag parsing so `go vet -vettool=... -<name>.<flag>=v` works.
+func PrintFlagDefs(w io.Writer, analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{}
+	for _, a := range analyzers {
+		for _, f := range a.Flags {
+			defs = append(defs, jsonFlag{Name: a.Name + "." + f.Name, Usage: f.Usage})
+		}
+	}
+	data, _ := json.Marshal(defs)
+	fmt.Fprintf(w, "%s\n", data)
+}
+
+// RunVetUnit analyzes the single compilation unit described by the
+// .cfg file, printing findings to stderr in plain form. Its exit-code
+// contract matches x/tools unitchecker: 0 clean, nonzero otherwise
+// (the go command relays stderr and fails the vet step).
+func RunVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unionlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "unionlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts output to exist even though
+	// unionlint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("unionlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "unionlint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// This package was only needed for facts; nothing to do.
+		return 0
+	}
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "unionlint: %v\n", err)
+		return 1
+	}
+	pkg, err := TypeCheck(fset, cfg.ImportPath, files, FileLookup(cfg.ImportMap, cfg.PackageFile), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "unionlint: %v\n", err)
+		return 1
+	}
+	findings, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unionlint: %v\n", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		PrintPlain(os.Stderr, findings)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,15 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errcontract"
+)
+
+func TestErrcontract(t *testing.T) {
+	analysistest.Run(t, "testdata", errcontract.Analyzer,
+		"repro/internal/wire/errs",     // in scope: flags + allowed wrapping
+		"repro/internal/report/logfmt", // out of scope: silent
+	)
+}

@@ -1,0 +1,10 @@
+// Package logfmt is outside errcontract's scope: log formatting may
+// flatten errors to text.
+package logfmt
+
+import "fmt"
+
+// Line renders an error for a log line.
+func Line(err error) string {
+	return fmt.Errorf("while reporting: %v", err).Error()
+}

@@ -1,0 +1,51 @@
+// Package errs is a golden-test package on an in-scope import path
+// (matches internal/wire in errcontract's default scope).
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFrame stands in for the real wire sentinels.
+var ErrFrame = errors.New("errs: bad frame")
+
+// WrapBad formats an error with %v: flagged, with a suggested fix.
+func WrapBad(err error) error {
+	return fmt.Errorf("read frame: %v", err) // want "error formatted with %v loses the error chain"
+}
+
+// WrapBadS uses %s, the other common flattener.
+func WrapBadS(err error) error {
+	return fmt.Errorf("read frame: %s", err) // want "error formatted with %s loses the error chain"
+}
+
+// WrapMixed wraps the sentinel but flattens the cause.
+func WrapMixed(err error) error {
+	return fmt.Errorf("%w: truncated: %v", ErrFrame, err) // want "error formatted with %v loses the error chain"
+}
+
+// WrapGood wraps with %w: allowed.
+func WrapGood(err error) error {
+	return fmt.Errorf("read frame: %w", err)
+}
+
+// Flatten passes err.Error() as the argument: flagged.
+func Flatten(err error) error {
+	return fmt.Errorf("read frame: %s", err.Error()) // want "err.Error\\(\\) passed to fmt.Errorf flattens the error chain"
+}
+
+// Match compares error strings: flagged.
+func Match(err error) bool {
+	return err.Error() == "errs: bad frame" // want "comparing error strings"
+}
+
+// MatchGood inspects the chain the supported way.
+func MatchGood(err error) bool {
+	return errors.Is(err, ErrFrame)
+}
+
+// NonError formats plain values: allowed.
+func NonError(n int, s string) error {
+	return fmt.Errorf("count %d at %q", n, s)
+}

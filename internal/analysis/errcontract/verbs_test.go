@@ -1,0 +1,41 @@
+package errcontract
+
+import "testing"
+
+// TestParseVerbs pins the raw-literal scanner: ordering, %% skipping,
+// flag/width handling, and the conservative bail-out on indexed args.
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		raw   string
+		verbs string // concatenated verb runes, in argument order
+	}{
+		{`"plain"`, ""},
+		{`"a %v b"`, "v"},
+		{`"%w: %v"`, "wv"},
+		{`"100%% done: %s"`, "s"},
+		{`"%+v %-8s %.2f %03d"`, "vsfd"},
+		{`"%[1]v %v"`, ""}, // indexed form: scan stops
+	}
+	for _, c := range cases {
+		got := ""
+		for _, v := range parseVerbs(c.raw) {
+			got += string(v.verb)
+		}
+		if got != c.verbs {
+			t.Errorf("parseVerbs(%s) = %q, want %q", c.raw, got, c.verbs)
+		}
+	}
+}
+
+// TestRewriteVerb pins the %v→%w suggested-fix rewrite on raw literals.
+func TestRewriteVerb(t *testing.T) {
+	raw := `"%w: truncated: %v"`
+	verbs := parseVerbs(raw)
+	if len(verbs) != 2 {
+		t.Fatalf("parseVerbs(%s): got %d verbs, want 2", raw, len(verbs))
+	}
+	fixed, ok := rewriteVerb(raw, verbs[1], 'w')
+	if !ok || fixed != `"%w: truncated: %w"` {
+		t.Fatalf("rewriteVerb = %q, %v; want %q, true", fixed, ok, `"%w: truncated: %w"`)
+	}
+}

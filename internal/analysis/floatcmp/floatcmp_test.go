@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcmp.Analyzer,
+		"repro/internal/estimate/cmpcases", // in scope: flags + carve-outs
+		"repro/internal/report/plotting",   // out of scope: silent
+	)
+}

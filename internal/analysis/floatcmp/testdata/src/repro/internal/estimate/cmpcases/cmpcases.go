@@ -1,0 +1,36 @@
+// Package cmpcases is a golden-test package on an in-scope import path
+// (matches internal/estimate in floatcmp's default scope).
+package cmpcases
+
+// RelErr mirrors the real helper: the exact-zero guard is allowed, the
+// equality short-circuit is not.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 { // exact constant zero: allowed
+		if est == 0 { // allowed too
+			return 0
+		}
+		return 1
+	}
+	if est == truth { // want "float equality"
+		return 0
+	}
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}
+
+// Converged uses != on floats: flagged.
+func Converged(prev, cur float64) bool {
+	return prev != cur // want "float equality"
+}
+
+// Ints may compare freely.
+func Ints(a, b int) bool { return a == b }
+
+// BitIdentical is a reviewed exception.
+func BitIdentical(a, b float64) bool {
+	// unionlint:allow floatcmp merge determinism is asserted bit-identically
+	return a == b
+}

@@ -1,0 +1,6 @@
+// Package plotting is outside floatcmp's scope.
+package plotting
+
+// SameTick compares floats with ==, which is fine outside estimator
+// code.
+func SameTick(a, b float64) bool { return a == b }

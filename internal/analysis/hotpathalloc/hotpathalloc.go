@@ -1,0 +1,281 @@
+// Package hotpathalloc flags allocation sites inside functions
+// annotated `// hotpath:` — the per-item Process paths, where an
+// accidental allocation multiplies by the stream length.
+//
+// A function whose doc comment contains a line starting with
+//
+//	// hotpath:
+//
+// is checked for the syntactic allocators: composite literals, make,
+// new, append, and function literals (closure capture). Each is a
+// warning, not proof of a heap allocation (escape analysis may keep
+// it on the stack) — the point is that a *new* one appearing in a
+// Process path should be a conscious, reviewed decision.
+//
+// Existing, accepted sites live in a baseline file (default:
+// <module>/lint/hotpathalloc.baseline, discovered by walking up from
+// the source files; override with -hotpathalloc.baseline). A finding
+// is only reported when a (package, function, kind) key exceeds its
+// baselined count, so the analyzer gates new debt without forcing a
+// rewrite of the old. Regenerate with:
+//
+//	unionlint -hotpathalloc.write ./...
+//
+// _test.go files are skipped.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var baselineFlag = &analysis.Flag{
+	Name:  "baseline",
+	Usage: "path to the accepted-allocations baseline file (default: <module>/lint/hotpathalloc.baseline)",
+}
+
+var writeFlag = &analysis.Flag{
+	Name:  "write",
+	Usage: "set to 1/true to append observed allocation counts to the baseline file instead of reporting",
+}
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:  "hotpathalloc",
+	Doc:   "flag new allocation sites in `// hotpath:`-annotated functions (baseline-gated)",
+	Flags: []*analysis.Flag{baselineFlag, writeFlag},
+	Run:   run,
+}
+
+// site is one observed allocation.
+type site struct {
+	key allocKey
+	d   analysis.Diagnostic
+}
+
+// allocKey identifies a baseline bucket. Line numbers are deliberately
+// excluded so unrelated edits do not invalidate the baseline.
+type allocKey struct {
+	pkg, fn, kind string
+}
+
+func (k allocKey) String() string { return k.pkg + "\t" + k.fn + "\t" + k.kind }
+
+func run(pass *analysis.Pass) error {
+	var sites []site
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			fn := funcName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				kind, detail := classifyAlloc(pass, n)
+				if kind == "" {
+					return true
+				}
+				sites = append(sites, site{
+					key: allocKey{pass.PkgPath(), fn, kind},
+					d: analysis.Diagnostic{
+						Pos: n.Pos(),
+						Message: fmt.Sprintf(
+							"%s in hotpath function %s; per-item allocations multiply by stream length — hoist it, reuse a buffer, or accept it into lint/hotpathalloc.baseline", detail, fn),
+					},
+				})
+				return true
+			})
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+
+	if isSet(writeFlag.Value) {
+		return writeBaseline(pass, sites)
+	}
+
+	baseline, err := loadBaseline(pass)
+	if err != nil {
+		return err
+	}
+	counts := map[allocKey]int{}
+	for _, s := range sites {
+		counts[s.key]++
+	}
+	for _, s := range sites {
+		if counts[s.key] <= baseline[s.key] {
+			continue // within accepted debt
+		}
+		pass.ReportDiag(s.d)
+	}
+	return nil
+}
+
+// isHotpath reports whether fd's doc comment carries a hotpath: line.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "hotpath:") {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyAlloc returns a baseline kind and human detail if n is a
+// syntactic allocation site.
+func classifyAlloc(pass *analysis.Pass, n ast.Node) (kind, detail string) {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		t := pass.TypesInfo.TypeOf(n)
+		name := "composite literal"
+		if t != nil {
+			name = fmt.Sprintf("composite literal %s{...}", typeShort(t))
+		}
+		return "composite", name
+	case *ast.FuncLit:
+		return "closure", "function literal (closure)"
+	case *ast.CallExpr:
+		id, ok := n.Fun.(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				return b.Name(), b.Name() + " call"
+			}
+		}
+	}
+	return "", ""
+}
+
+func typeShort(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+func isSet(v string) bool { return v == "1" || v == "true" }
+
+// baselinePath resolves the baseline file: the flag if set, else
+// <module root>/lint/hotpathalloc.baseline found by walking up from
+// the package's first source file. Paths containing a testdata element
+// never auto-discover (golden tests must not see the real baseline).
+func baselinePath(pass *analysis.Pass, forWrite bool) string {
+	if baselineFlag.Value != "" {
+		return baselineFlag.Value
+	}
+	if len(pass.Files) == 0 {
+		return ""
+	}
+	dir := filepath.Dir(pass.Fset.File(pass.Files[0].Pos()).Name())
+	if strings.Contains(dir, string(filepath.Separator)+"testdata"+string(filepath.Separator)) {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			p := filepath.Join(dir, "lint", "hotpathalloc.baseline")
+			if _, err := os.Stat(p); err == nil || forWrite {
+				return p
+			}
+			return ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// loadBaseline parses "pkg\tfunc\tkind\tcount" lines.
+func loadBaseline(pass *analysis.Pass) (map[allocKey]int, error) {
+	out := map[allocKey]int{}
+	path := baselinePath(pass, false)
+	if path == "" {
+		return out, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hotpathalloc baseline: %w", err)
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("hotpathalloc baseline %s:%d: want 4 tab-separated fields", path, ln+1)
+		}
+		n, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("hotpathalloc baseline %s:%d: bad count: %v", path, ln+1, err)
+		}
+		out[allocKey{parts[0], parts[1], parts[2]}] = n
+	}
+	return out, nil
+}
+
+// writeBaseline appends this package's observed counts (the standalone
+// driver truncates the file before the sweep).
+func writeBaseline(pass *analysis.Pass, sites []site) error {
+	path := baselinePath(pass, true)
+	if path == "" {
+		return fmt.Errorf("hotpathalloc: -hotpathalloc.write needs -hotpathalloc.baseline or a module lint/ directory")
+	}
+	counts := map[allocKey]int{}
+	var order []allocKey
+	for _, s := range sites {
+		if counts[s.key] == 0 {
+			order = append(order, s.key)
+		}
+		counts[s.key]++
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, k := range order {
+		if _, err := fmt.Fprintf(f, "%s\t%d\n", k.String(), counts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package hotpathalloc_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hot")
+}
+
+// TestBaselineGating checks that baselined counts suppress exactly
+// their budget: hotbase's composite and append are accepted, and one
+// of its two makes is — when a bucket exceeds its count, every site in
+// the bucket is reported (line numbers are not part of the key).
+func TestBaselineGating(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline")
+	content := "# test baseline\n" +
+		"hotbase\tSketch.Process\tcomposite\t1\n" +
+		"hotbase\tSketch.Process\tappend\t1\n" +
+		"hotbase\tSketch.Process\tmake\t1\n"
+	if err := os.WriteFile(baseline, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := hotpathalloc.Analyzer.Lookup("baseline")
+	old := f.Value
+	f.Value = baseline
+	defer func() { f.Value = old }()
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotbase")
+}

@@ -1,0 +1,48 @@
+// Package hot is the hotpathalloc golden package. Its files live under
+// testdata, so baseline auto-discovery is disabled and every site in a
+// hotpath function is reported.
+package hot
+
+type entry struct{ w uint64 }
+
+// Sketch is a miniature of the real samplers.
+type Sketch struct {
+	entries map[uint64]entry
+	buf     []uint64
+}
+
+// Process observes one item.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Process(label uint64) {
+	s.entries[label] = entry{w: 1} // want "composite literal"
+	s.buf = append(s.buf, label)   // want "append call"
+	tmp := make([]uint64, 1)       // want "make call"
+	tmp[0] = label
+	p := new(entry) // want "new call"
+	_ = p
+}
+
+// Each visits retained items.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Each(f func(uint64)) {
+	g := func(x uint64) { f(x) } // want "function literal"
+	for l := range s.entries {
+		g(l)
+	}
+}
+
+// Reset is a cold path: allocations are fine without annotation.
+func (s *Sketch) Reset() {
+	s.entries = map[uint64]entry{}
+	s.buf = make([]uint64, 0, 16)
+}
+
+// Lookup is hot but allocation-free: fine.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Lookup(label uint64) bool {
+	_, ok := s.entries[label]
+	return ok
+}

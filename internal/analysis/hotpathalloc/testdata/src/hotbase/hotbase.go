@@ -1,0 +1,24 @@
+// Package hotbase has exactly one allocation per kind in its hotpath,
+// all accepted by the baseline TestBaselineGating supplies — so no
+// diagnostics are expected — plus one kind exceeding its budget.
+package hotbase
+
+type entry struct{ w uint64 }
+
+// Sketch mirrors hot.Sketch.
+type Sketch struct {
+	entries map[uint64]entry
+	buf     []uint64
+}
+
+// Process has one composite and one append (baselined) and two makes
+// (baseline allows one).
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Process(label uint64) {
+	s.entries[label] = entry{w: 1}
+	s.buf = append(s.buf, label)
+	a := make([]uint64, 1) // want "make call"
+	b := make([]uint64, 1) // want "make call"
+	a[0], b[0] = label, label
+}

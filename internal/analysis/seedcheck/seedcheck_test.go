@@ -1,0 +1,15 @@
+package seedcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seedcheck"
+)
+
+func TestSeedcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", seedcheck.Analyzer,
+		"repro/internal/hashing/seedy",  // in scope: flags + allow cases
+		"repro/internal/report/devrand", // out of scope: silent
+	)
+}

@@ -1,0 +1,14 @@
+// Package devrand is outside seedcheck's scope: global randomness is
+// fine in reporting/tooling code.
+package devrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample may use whatever randomness it likes.
+func Sample() int {
+	rand.Seed(time.Now().UnixNano())
+	return rand.Intn(10)
+}

@@ -96,6 +96,9 @@ func New(cfg Config) *Client {
 	cfg = cfg.withDefaults()
 	seed := cfg.JitterSeed
 	if seed == 0 {
+		// Backoff jitter SHOULD differ per process — it never touches
+		// sketch state or cross-site coordination.
+		// unionlint:allow seedcheck jitter is deliberately per-process
 		seed = time.Now().UnixNano()
 	}
 	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
@@ -238,7 +241,7 @@ func (c *Client) readFrame(conn net.Conn) (wire.MsgType, []byte, error) {
 	if errors.Is(err, wire.ErrVersion) {
 		// The reply is framed in a version we don't speak: the
 		// coordinator is from a different protocol generation.
-		return 0, nil, fmt.Errorf("%w: %v", ErrVersionMismatch, err)
+		return 0, nil, fmt.Errorf("%w: %w", ErrVersionMismatch, err)
 	}
 	return typ, payload, err
 }

@@ -78,6 +78,8 @@ func (e *Estimator) Copies() int { return len(e.copies) }
 func (e *Estimator) Copy(i int) *Sampler { return e.copies[i] }
 
 // Process observes one occurrence of label in every copy.
+//
+// hotpath: called once per stream item.
 func (e *Estimator) Process(label uint64) {
 	for _, s := range e.copies {
 		s.Process(label)
@@ -86,6 +88,8 @@ func (e *Estimator) Process(label uint64) {
 
 // ProcessWeighted observes label with a value in every copy; see
 // Sampler.ProcessWeighted for the fixed-value-per-label contract.
+//
+// hotpath: called once per stream item.
 func (e *Estimator) ProcessWeighted(label, value uint64) {
 	for _, s := range e.copies {
 		s.ProcessWeighted(label, value)

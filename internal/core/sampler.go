@@ -105,6 +105,8 @@ func (s *Sampler) Len() int { return len(s.entries) }
 // Process observes one occurrence of label. Duplicate occurrences are
 // free: the sampler's state is a function of the distinct label set
 // only.
+//
+// hotpath: called once per stream item.
 func (s *Sampler) Process(label uint64) {
 	s.ProcessWeighted(label, 1)
 }
@@ -114,6 +116,8 @@ func (s *Sampler) Process(label uint64) {
 // carry the same value; ProcessWeighted keeps the first value it
 // retains and ignores repeats, matching the paper's "each label has a
 // fixed associated value" semantics.
+//
+// hotpath: called once per stream item.
 func (s *Sampler) ProcessWeighted(label, value uint64) {
 	lvl := hashing.GeometricLevel(s.hash.Hash(label))
 	if lvl < s.level {

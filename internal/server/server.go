@@ -75,7 +75,7 @@ type Config struct {
 // group is one mergeable family of sketches: everything pushed with an
 // identical EstimatorConfig (seed, capacity, copies, family, raise).
 type group struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: est, absorbed, bytes
 	est      *core.Estimator
 	absorbed int64
 	bytes    int64
@@ -102,14 +102,14 @@ type Server struct {
 	workerWG sync.WaitGroup
 	connWG   sync.WaitGroup
 
-	mu       sync.Mutex // guards groups map and listener/conn registry
+	mu       sync.Mutex // guards: groups, ln, conns, started, shutdown
 	groups   map[core.EstimatorConfig]*group
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	started  bool
 	shutdown bool
 
-	opaqueMu       sync.Mutex
+	opaqueMu       sync.Mutex // guards: opaqueAbsorbed, opaqueBytes
 	opaqueAbsorbed int64
 	opaqueBytes    int64
 

@@ -54,6 +54,8 @@ func New(copies int, seed uint64) *Sketch {
 }
 
 // Process observes one occurrence of label.
+//
+// hotpath: called once per stream item.
 func (s *Sketch) Process(label uint64) {
 	for i, h := range s.hashes {
 		lvl := int8(hashing.GeometricLevel(h.Hash(label)))

@@ -73,6 +73,8 @@ func fingerprintMod(capacity int) uint64 {
 }
 
 // Process observes one occurrence of label.
+//
+// hotpath: called once per stream item.
 func (s *Sketch) Process(label uint64) {
 	lvl := int8(hashing.GeometricLevel(s.levelHash.Hash(label)))
 	if int(lvl) < s.z {

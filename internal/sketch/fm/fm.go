@@ -81,6 +81,8 @@ func newSketch(numMaps int, seed uint64, weak bool) *Sketch {
 }
 
 // Process observes one occurrence of label.
+//
+// hotpath: called once per stream item.
 func (s *Sketch) Process(label uint64) {
 	bucket := s.bucketHash.Hash(label) % uint64(s.numMaps)
 	lvl := hashing.GeometricLevel(s.levelHash.Hash(label))

@@ -50,10 +50,15 @@ func New(k int, seed uint64) *Sketch {
 }
 
 // Process observes one occurrence of label.
+//
+// hotpath: called once per stream item.
 func (s *Sketch) Process(label uint64) {
 	s.insert(s.hash.Hash(label))
 }
 
+// insert folds one hash value into the k smallest.
+//
+// hotpath: called once per stream item (from Process).
 func (s *Sketch) insert(v uint64) {
 	if len(s.heap) == s.k && v >= s.heap[0] {
 		return // not smaller than the current k-th value

@@ -71,6 +71,8 @@ func newSketch(numRegs int, seed uint64, weak bool) *Sketch {
 }
 
 // Process observes one occurrence of label.
+//
+// hotpath: called once per stream item.
 func (s *Sketch) Process(label uint64) {
 	reg := s.regHash.Hash(label) % uint64(s.numRegs)
 	rank := uint8(hashing.GeometricLevel(s.levelHash.Hash(label))) + 1

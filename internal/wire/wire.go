@@ -153,7 +153,7 @@ func ReadFrame(r io.Reader, limit uint32) (MsgType, []byte, error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrFrame, err)
+		return 0, nil, fmt.Errorf("%w: truncated header: %w", ErrFrame, err)
 	}
 	t, n, err := parseHeader(hdr, limit)
 	if err != nil {
@@ -161,7 +161,7 @@ func ReadFrame(r io.Reader, limit uint32) (MsgType, []byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrFrame, err)
+		return 0, nil, fmt.Errorf("%w: truncated payload: %w", ErrFrame, err)
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[8:12]); got != want {
 		return 0, nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrFrame, got, want)
