@@ -66,10 +66,35 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos suite (seeds 1..3) =="
+# The deterministic fault-injection suites (internal/failpoint +
+# internal/faultnet): every seeded fault schedule must leave the
+# coordinator bit-identical to the fault-free serial run and reproduce
+# the identical fault trace. Only these packages define -chaos.seed,
+# so the sweep names them explicitly instead of using ./... .
+CHAOS_PKGS=(./internal/server ./internal/client ./internal/distnet)
+CHAOS_FAILED=()
+for seed in 1 2 3; do
+    echo "-- chaos.seed=$seed --"
+    if ! go test -race -run 'Chaos' "${CHAOS_PKGS[@]}" -chaos.seed="$seed"; then
+        CHAOS_FAILED+=("$seed")
+    fi
+done
+if ((${#CHAOS_FAILED[@]})); then
+    echo "ci.sh: chaos suite failed for seed(s): ${CHAOS_FAILED[*]}" \
+         "(replay one with: go test -race -run Chaos <pkg> -chaos.seed=<seed>)"
+    exit 1
+fi
+
 echo "== fuzz smoke: FuzzWireDecode (10s) =="
 # A short bounded run of the wire-format fuzzer: enough to catch a
 # decoder regression on every CI pass without turning the gate into a
 # fuzzing campaign.
 go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime=10s ./internal/wire
+
+echo "== fuzz smoke: FuzzClientReadFrame (10s) =="
+# Same budget for the client's reply reader, which replays the wire
+# fuzzer's shared corpus and must agree with it frame for frame.
+go test -run='^$' -fuzz='^FuzzClientReadFrame$' -fuzztime=10s ./internal/client
 
 echo "ci.sh: all checks passed"

@@ -14,16 +14,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/wire"
 )
 
-// Typed failures. All are permanent: retrying cannot fix a protocol
-// disagreement.
+// Typed failures. The first three are permanent — retrying cannot fix
+// a protocol disagreement or a condemned payload; ErrFrameDamaged and
+// ErrCoordinator are transient and drive the retry loop.
 var (
 	// ErrVersionMismatch: the coordinator speaks a different wire
 	// protocol version.
@@ -36,6 +39,14 @@ var (
 	// reason (corrupt payload, unsupported request); the wrapped
 	// detail explains.
 	ErrRejected = errors.New("client: message rejected by coordinator")
+	// ErrFrameDamaged: the coordinator reported wire-level damage
+	// (AckBadFrame) — the bytes were corrupted in transit, not the
+	// message, so the push is retried with the same payload. Transient.
+	ErrFrameDamaged = errors.New("client: frame damaged in transit")
+	// ErrCoordinator: the coordinator reported a server-side failure
+	// (AckError: shutting down, internal fault). The message itself
+	// was never condemned, so the operation is retried. Transient.
+	ErrCoordinator = errors.New("client: coordinator reported an internal error")
 )
 
 // Config parameterizes a Client. The zero value targets nothing; set
@@ -125,7 +136,7 @@ func (c *Client) pushFrame(t wire.MsgType, payload []byte) (int, error) {
 			time.Sleep(c.backoff(attempt - 1))
 		}
 		err := c.roundTrip(func(conn net.Conn) error {
-			if err := wire.WriteFrame(conn, t, payload); err != nil {
+			if err := c.writeFrame(conn, t, payload); err != nil {
 				return err
 			}
 			return c.readAck(conn)
@@ -146,7 +157,7 @@ func (c *Client) pushFrame(t wire.MsgType, payload []byte) (int, error) {
 func (c *Client) Query(q wire.Query) (float64, error) {
 	var est float64
 	err := c.retried(func(conn net.Conn) error {
-		if err := wire.WriteFrame(conn, wire.MsgQuery, q.Encode()); err != nil {
+		if err := c.writeFrame(conn, wire.MsgQuery, q.Encode()); err != nil {
 			return err
 		}
 		typ, payload, err := c.readFrame(conn)
@@ -183,7 +194,7 @@ func (c *Client) SumDistinct(seed uint64) (float64, error) {
 // struct/map); pass nil to only check reachability.
 func (c *Client) Stats(out any) error {
 	return c.retried(func(conn net.Conn) error {
-		if err := wire.WriteFrame(conn, wire.MsgStats, nil); err != nil {
+		if err := c.writeFrame(conn, wire.MsgStats, nil); err != nil {
 			return err
 		}
 		typ, payload, err := c.readFrame(conn)
@@ -225,6 +236,9 @@ func (c *Client) retried(op func(net.Conn) error) error {
 
 // roundTrip dials, applies the per-operation deadline, and runs op.
 func (c *Client) roundTrip(op func(net.Conn) error) error {
+	if err := failpoint.Inject(failpoint.ClientDial); err != nil {
+		return err
+	}
 	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return err
@@ -236,8 +250,22 @@ func (c *Client) roundTrip(op func(net.Conn) error) error {
 	return op(conn)
 }
 
-func (c *Client) readFrame(conn net.Conn) (wire.MsgType, []byte, error) {
-	typ, payload, err := wire.ReadFrame(conn, c.cfg.MaxPayload)
+// writeFrame sends one frame toward the coordinator.
+func (c *Client) writeFrame(conn net.Conn, t wire.MsgType, payload []byte) error {
+	if err := failpoint.Inject(failpoint.ClientWrite); err != nil {
+		return err
+	}
+	return wire.WriteFrame(conn, t, payload)
+}
+
+// readFrame reads one coordinator reply frame, typing version
+// disagreements. It takes an io.Reader so the fuzz harness can drive
+// it with raw byte streams.
+func (c *Client) readFrame(r io.Reader) (wire.MsgType, []byte, error) {
+	if err := failpoint.Inject(failpoint.ClientRead); err != nil {
+		return 0, nil, err
+	}
+	typ, payload, err := wire.ReadFrame(r, c.cfg.MaxPayload)
 	if errors.Is(err, wire.ErrVersion) {
 		// The reply is framed in a version we don't speak: the
 		// coordinator is from a different protocol generation.
@@ -270,7 +298,17 @@ func ackError(payload []byte) error {
 		return fmt.Errorf("%w: %s", ErrVersionMismatch, ack.Detail)
 	case wire.AckSeedMismatch:
 		return fmt.Errorf("%w: %s", ErrSeedMismatch, ack.Detail)
+	case wire.AckBadFrame:
+		// Deliberately NOT ErrRejected: the frame was damaged in
+		// transit, so the retry loop resends the same payload.
+		return fmt.Errorf("%w: %s", ErrFrameDamaged, ack.Detail)
+	case wire.AckError:
+		// Also transient: the coordinator failed, not the message —
+		// a restarted or recovered coordinator may accept the retry.
+		return fmt.Errorf("%w: %s", ErrCoordinator, ack.Detail)
 	default:
+		// AckCorrupt, AckUnsupported, unknown codes: the payload
+		// itself was condemned — permanent.
 		return fmt.Errorf("%w: %s: %s", ErrRejected, ack.Code, ack.Detail)
 	}
 }

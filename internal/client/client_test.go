@@ -116,7 +116,6 @@ func TestTypedAckErrorsArePermanent(t *testing.T) {
 		{wire.AckSeedMismatch, ErrSeedMismatch},
 		{wire.AckCorrupt, ErrRejected},
 		{wire.AckUnsupported, ErrRejected},
-		{wire.AckError, ErrRejected},
 	}
 	for _, c := range cases {
 		addr := fakeServer(t, wire.Ack{Code: c.code, Detail: "detail"})
@@ -127,6 +126,33 @@ func TestTypedAckErrorsArePermanent(t *testing.T) {
 		}
 		if attempts != 1 {
 			t.Errorf("%v: %d attempts; typed refusals must not be retried", c.code, attempts)
+		}
+	}
+}
+
+// TestTransientAcksAreRetried: wire-level damage (AckBadFrame) and
+// server-side failures (AckError) do not condemn the message — the
+// retry loop must resend the same payload until attempts run out.
+func TestTransientAcksAreRetried(t *testing.T) {
+	cases := []struct {
+		code wire.AckCode
+		want error
+	}{
+		{wire.AckBadFrame, ErrFrameDamaged},
+		{wire.AckError, ErrCoordinator},
+	}
+	for _, c := range cases {
+		addr := fakeServer(t, wire.Ack{Code: c.code, Detail: "detail"})
+		cl := New(Config{Addr: addr, Attempts: 3, BackoffBase: time.Millisecond, JitterSeed: 1})
+		attempts, err := cl.Push([]byte("msg"))
+		if !errors.Is(err, c.want) {
+			t.Errorf("%v: err = %v, want %v", c.code, err, c.want)
+		}
+		if permanent(err) {
+			t.Errorf("%v: classified permanent; must be transient", c.code)
+		}
+		if attempts != 3 {
+			t.Errorf("%v: %d attempts, want 3 (retried to exhaustion)", c.code, attempts)
 		}
 	}
 }

@@ -31,8 +31,16 @@ type Options struct {
 	// take the client defaults.
 	Attempts    int
 	BackoffBase time.Duration
+	// IOTimeout bounds each client round trip; zero takes the client
+	// default. Chaos runs shrink it so swallowed acks fail fast.
+	IOTimeout time.Duration
 	// ShutdownTimeout bounds the coordinator drain (default 10s).
 	ShutdownTimeout time.Duration
+	// Intercept, when set, rewrites the address every client dials: it
+	// receives the coordinator's real listen address and returns the
+	// address to use instead. The chaos suite uses it to route all
+	// site and query traffic through a faultnet proxy.
+	Intercept func(serverAddr string) (dialAddr string, err error)
 }
 
 // Run executes the protocol over loopback TCP: it starts a
@@ -69,6 +77,11 @@ func RunOptions(p distsim.Protocol, sources []stream.Source, concurrent bool, op
 		<-serveErr
 	}()
 	addr := ln.Addr().String()
+	if opts.Intercept != nil {
+		if addr, err = opts.Intercept(addr); err != nil {
+			return nil, fmt.Errorf("distnet: intercept: %w", err)
+		}
+	}
 
 	acct := distsim.NewByteAccountant()
 	var items atomic.Int64
@@ -88,6 +101,7 @@ func RunOptions(p distsim.Protocol, sources []stream.Source, concurrent bool, op
 			Addr:        addr,
 			Attempts:    opts.Attempts,
 			BackoffBase: opts.BackoffBase,
+			IOTimeout:   opts.IOTimeout,
 			JitterSeed:  int64(i) + 1,
 		})
 		if _, err := cl.PushOpaque(msg); err != nil {
@@ -123,7 +137,13 @@ func RunOptions(p distsim.Protocol, sources []stream.Source, concurrent bool, op
 	}
 
 	// Every push was acked, so every message is absorbed: query.
-	cl := client.New(client.Config{Addr: addr, Attempts: opts.Attempts, BackoffBase: opts.BackoffBase})
+	cl := client.New(client.Config{
+		Addr:        addr,
+		Attempts:    opts.Attempts,
+		BackoffBase: opts.BackoffBase,
+		IOTimeout:   opts.IOTimeout,
+		JitterSeed:  int64(len(sources)) + 1,
+	})
 	distinct, err := cl.Query(wire.Query{Kind: wire.QueryDistinct})
 	if err != nil {
 		return nil, fmt.Errorf("distnet: distinct query: %w", err)

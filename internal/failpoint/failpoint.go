@@ -1,0 +1,178 @@
+// Package failpoint is a tiny, dependency-free fault-injection
+// registry: named sites threaded through the networked referee's
+// production code (internal/wire, internal/server, internal/client)
+// that do nothing — one atomic load, zero allocations — unless a test
+// arms them with a hook.
+//
+// The paper's model assumes each site delivers exactly one sketch
+// message to the referee, reliably. The chaos suites exercise what a
+// real deployment must instead survive — failed dials, interrupted
+// writes, corrupted frames, absorb-time errors, slow drains — and they
+// need those failures to strike deterministically at a named point,
+// not whenever the scheduler happens to misbehave. A failpoint is that
+// named point:
+//
+//	// production code
+//	if err := failpoint.Inject(failpoint.ClientDial); err != nil {
+//		return err
+//	}
+//
+//	// test
+//	failpoint.Enable(failpoint.ClientDial, failpoint.Times(2, errFlaky))
+//	defer failpoint.Disable(failpoint.ClientDial)
+//
+// Sites are identified by the constants below so tests cannot drift
+// from the code they target. The registry is process-global (the
+// production code it is threaded through is, too); tests that arm
+// sites must disarm them, and must not run in t.Parallel with other
+// failpoint users of the same site.
+package failpoint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The injection sites threaded through the networked referee. The
+// convention is "<package>/<operation>".
+const (
+	// ServerAccept fires in the coordinator's accept loop, after a
+	// connection is accepted and before it is handed to a reader
+	// goroutine; an error closes the connection unserved.
+	ServerAccept = "server/accept"
+	// ServerAbsorb fires in the per-group absorb path, after the
+	// sketch decodes and before any group state is touched; an error
+	// fails the absorb (the group must be left untouched).
+	ServerAbsorb = "server/absorb"
+	// ServerDrain fires at the start of Shutdown's connection drain;
+	// hooks typically Sleep to widen the drain window. Its error is
+	// ignored — a drain cannot be refused.
+	ServerDrain = "server/drain"
+	// ClientDial fires before each dial attempt; an error counts as a
+	// transient dial failure (retried with backoff).
+	ClientDial = "client/dial"
+	// ClientWrite fires before each request frame write.
+	ClientWrite = "client/write"
+	// ClientRead fires before each response frame read.
+	ClientRead = "client/read"
+	// WireEncode fires at the top of wire.WriteFrame.
+	WireEncode = "wire/encode"
+	// WireDecode fires at the top of wire.ReadFrame.
+	WireDecode = "wire/decode"
+)
+
+// A Hook decides what an armed site does on each hit: return an error
+// to inject a failure, nil to let the call proceed (possibly after a
+// side effect such as sleeping).
+type Hook func() error
+
+// site is one armed injection point.
+type site struct {
+	hook Hook
+	hits atomic.Int64
+}
+
+// registry is the process-global site table. armed counts enabled
+// sites so the disabled fast path is a single atomic load.
+type registry struct {
+	armed atomic.Int32
+	mu    sync.Mutex // guards: sites
+	sites map[string]*site
+}
+
+var reg = registry{sites: make(map[string]*site)}
+
+// Inject is the call production code places at a site. With no hook
+// armed anywhere it is a no-op: one atomic load, no allocation.
+func Inject(name string) error {
+	if reg.armed.Load() == 0 {
+		return nil
+	}
+	return inject(name)
+}
+
+// inject is the slow path: look up and run the site's hook.
+func inject(name string) error {
+	reg.mu.Lock()
+	s := reg.sites[name]
+	reg.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	s.hits.Add(1)
+	return s.hook()
+}
+
+// Enable arms a site with a hook, replacing any previous hook (and
+// resetting the site's hit count).
+func Enable(name string, h Hook) {
+	if h == nil {
+		panic("failpoint: Enable with nil hook")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.sites[name]; !ok {
+		reg.armed.Add(1)
+	}
+	reg.sites[name] = &site{hook: h}
+}
+
+// Disable disarms a site. Disabling an unarmed site is a no-op.
+func Disable(name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.sites[name]; ok {
+		delete(reg.sites, name)
+		reg.armed.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.sites = make(map[string]*site)
+	reg.armed.Store(0)
+}
+
+// Hits returns how many times the named site fired since it was
+// enabled (0 if unarmed).
+func Hits(name string) int64 {
+	reg.mu.Lock()
+	s := reg.sites[name]
+	reg.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return s.hits.Load()
+}
+
+// Armed reports whether any site is currently enabled.
+func Armed() bool { return reg.armed.Load() > 0 }
+
+// Error returns a hook that always injects err.
+func Error(err error) Hook {
+	return func() error { return err }
+}
+
+// Times returns a hook that injects err on the first n hits and then
+// lets every later hit proceed — the canonical "transient failure,
+// then recovery" schedule.
+func Times(n int, err error) Hook {
+	var hits atomic.Int64
+	return func() error {
+		if hits.Add(1) <= int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// Sleep returns a hook that delays the call by d and proceeds.
+func Sleep(d time.Duration) Hook {
+	return func() error {
+		time.Sleep(d)
+		return nil
+	}
+}

@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hashing"
+)
+
+// Kind is one per-direction fault a proxy can apply to a connection's
+// byte stream.
+type Kind uint8
+
+const (
+	// Pass forwards bytes untouched.
+	Pass Kind = iota
+	// Delay sleeps Wait once before forwarding the first byte, then
+	// passes.
+	Delay
+	// Truncate forwards exactly AfterBytes bytes, then hard-closes
+	// both halves of the connection — a site (or referee) dying
+	// mid-frame.
+	Truncate
+	// BitFlip forwards everything but XORs 0x01 into the byte at
+	// stream offset AfterBytes — in-flight corruption the CRC must
+	// catch.
+	BitFlip
+	// BlackHole swallows every byte of the direction it is applied to
+	// (still draining the source so writers do not block): the peer
+	// sees a connection that accepts traffic and never answers.
+	BlackHole
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Pass:
+		return "pass"
+	case Delay:
+		return "delay"
+	case Truncate:
+		return "truncate"
+	case BitFlip:
+		return "bitflip"
+	case BlackHole:
+		return "blackhole"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// PathPlan is the fault applied to one direction of a connection.
+type PathPlan struct {
+	Kind Kind
+	// AfterBytes parameterizes Truncate (bytes forwarded before the
+	// cut) and BitFlip (offset of the damaged byte; an offset beyond
+	// the stream leaves it untouched).
+	AfterBytes int
+	// Wait parameterizes Delay.
+	Wait time.Duration
+}
+
+// Plan is the complete fault schedule for one proxied connection.
+// The zero value forwards everything untouched.
+type Plan struct {
+	// Reject closes the accepted connection before a byte moves —
+	// the classic crashed-coordinator dial experience.
+	Reject bool
+	// Replay re-sends every byte the client sent (as sent, pre-fault)
+	// on a fresh upstream connection after this one finishes: a
+	// duplicated sketch delivery. Only meaningful when Up lets the
+	// original message through (Pass or Delay).
+	Replay bool
+	// Up is applied to the client→server direction, Down to
+	// server→client.
+	Up, Down PathPlan
+}
+
+// String renders the plan compactly for traces.
+func (p Plan) String() string {
+	if p.Reject {
+		return "reject"
+	}
+	s := fmt.Sprintf("up=%s", pathString(p.Up))
+	s += fmt.Sprintf(" down=%s", pathString(p.Down))
+	if p.Replay {
+		s += " replay"
+	}
+	return s
+}
+
+func pathString(pp PathPlan) string {
+	switch pp.Kind {
+	case Truncate, BitFlip:
+		return fmt.Sprintf("%s@%d", pp.Kind, pp.AfterBytes)
+	case Delay:
+		return fmt.Sprintf("%s(%s)", pp.Kind, pp.Wait)
+	default:
+		return pp.Kind.String()
+	}
+}
+
+// A Schedule decides the fault plan for each proxied connection, by
+// accept order. Implementations must be deterministic functions of the
+// connection index so a chaos run can be replayed exactly.
+type Schedule interface {
+	PlanFor(conn int) Plan
+}
+
+// Script is the explicit Schedule: plan i applies to connection i, and
+// connections beyond the script pass untouched.
+type Script []Plan
+
+// PlanFor implements Schedule.
+func (s Script) PlanFor(conn int) Plan {
+	if conn < len(s) {
+		return s[conn]
+	}
+	return Plan{}
+}
+
+// Mix weights the fault kinds a Seeded schedule draws from, in percent
+// of connections. The remainder passes untouched. All faults in the
+// default mix are survivable by a retrying client against an
+// idempotent coordinator, so a fleet pushing through a Seeded proxy
+// converges to the fault-free result.
+type Mix struct {
+	Reject        int // refuse the connection outright
+	TruncateUp    int // cut the client's frame mid-flight
+	BitFlipUp     int // corrupt one client byte (CRC or payload region)
+	BlackHoleDown int // absorb the message, swallow the ack (forces duplicates)
+	DelayUp       int // slow the message down
+	Replay        int // deliver, then deliver again (explicit duplicate)
+}
+
+// DefaultMix exercises every survivable fault with sizable
+// probability while keeping more than a third of connections clean so
+// retry loops terminate quickly.
+var DefaultMix = Mix{
+	Reject:        10,
+	TruncateUp:    12,
+	BitFlipUp:     12,
+	BlackHoleDown: 12,
+	DelayUp:       8,
+	Replay:        8,
+}
+
+// Seeded returns a Schedule that derives each connection's plan
+// deterministically from (seed, conn) using the default mix: the same
+// seed always yields the same fault schedule, independent of timing.
+func Seeded(seed uint64) Schedule { return SeededMix(seed, DefaultMix) }
+
+// SeededMix is Seeded with explicit weights.
+func SeededMix(seed uint64, mix Mix) Schedule {
+	total := mix.Reject + mix.TruncateUp + mix.BitFlipUp + mix.BlackHoleDown + mix.DelayUp + mix.Replay
+	if total > 100 {
+		panic(fmt.Sprintf("faultnet: mix weights sum to %d%% > 100%%", total))
+	}
+	return seededSchedule{seed: seed, mix: mix}
+}
+
+type seededSchedule struct {
+	seed uint64
+	mix  Mix
+}
+
+// PlanFor implements Schedule. Every draw comes from a SplitMix64
+// stream keyed by (seed, conn), so plans do not depend on the order
+// PlanFor is called in.
+func (s seededSchedule) PlanFor(conn int) Plan {
+	rng := hashing.NewSplitMix64(s.seed ^ (uint64(conn)+1)*0x9E3779B97F4A7C15)
+	roll := int(rng.Next() % 100)
+	m := s.mix
+	switch {
+	case roll < m.Reject:
+		return Plan{Reject: true}
+	case roll < m.Reject+m.TruncateUp:
+		// Cut somewhere inside the header or early payload; sketch
+		// frames are always longer than this, so the server sees a
+		// genuinely incomplete frame.
+		return Plan{Up: PathPlan{Kind: Truncate, AfterBytes: 1 + int(rng.Next()%24)}}
+	case roll < m.Reject+m.TruncateUp+m.BitFlipUp:
+		// Flip a byte at offset >= 8: the CRC field or the payload,
+		// never the length field (a damaged length can stall the read
+		// until a timeout, which is survivable but slow and makes the
+		// ack timing racy; the CRC path is deterministic).
+		return Plan{Up: PathPlan{Kind: BitFlip, AfterBytes: 8 + int(rng.Next()%48)}}
+	case roll < m.Reject+m.TruncateUp+m.BitFlipUp+m.BlackHoleDown:
+		return Plan{Down: PathPlan{Kind: BlackHole}}
+	case roll < m.Reject+m.TruncateUp+m.BitFlipUp+m.BlackHoleDown+m.DelayUp:
+		return Plan{Up: PathPlan{Kind: Delay, Wait: time.Duration(1+rng.Next()%8) * time.Millisecond}}
+	case roll < m.Reject+m.TruncateUp+m.BitFlipUp+m.BlackHoleDown+m.DelayUp+m.Replay:
+		return Plan{Replay: true}
+	default:
+		return Plan{}
+	}
+}

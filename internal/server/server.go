@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/wire"
 )
 
@@ -183,6 +184,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
+		if ferr := failpoint.Inject(failpoint.ServerAccept); ferr != nil {
+			// Chaos hook: the accept path fails after the kernel handed
+			// us a socket — drop it and keep serving, as a transient
+			// resource error would.
+			s.logf("unionstreamd: accept failpoint: %v", ferr)
+			conn.Close()
+			continue
+		}
 		s.mu.Lock()
 		if s.shutdown {
 			s.mu.Unlock()
@@ -229,6 +238,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	started := s.started
 	s.mu.Unlock()
+	// Chaos hook: a fault at drain start must not prevent the drain
+	// from completing — Shutdown has no failure path before ctx.
+	if ferr := failpoint.Inject(failpoint.ServerDrain); ferr != nil {
+		s.logf("unionstreamd: drain failpoint: %v", ferr)
+	}
 	s.logf("unionstreamd: shutting down, draining connections")
 
 	drained := make(chan struct{})
@@ -295,9 +309,14 @@ func (s *Server) handleConn(conn net.Conn) {
 					Detail: fmt.Sprintf("server speaks wire version %d", wire.Version)})
 				return
 			default:
+				// Wire-level damage (bad magic, truncation, checksum):
+				// the bytes, not the message, were bad — AckBadFrame
+				// tells the site this is transient and the same payload
+				// may be retried, unlike AckCorrupt, which condemns the
+				// payload itself.
 				s.stats.rejected.Add(1)
 				s.logf("unionstreamd: %s: dropping connection: %v", conn.RemoteAddr(), err)
-				s.writeAck(conn, wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()})
+				s.writeAck(conn, wire.Ack{Code: wire.AckBadFrame, Detail: err.Error()})
 				return
 			}
 		}
@@ -369,6 +388,12 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 	if s.cfg.RequireSeed != nil && cfg.Seed != *s.cfg.RequireSeed {
 		return wire.Ack{Code: wire.AckSeedMismatch,
 			Detail: fmt.Sprintf("sketch seed %d, coordinator requires %d", cfg.Seed, *s.cfg.RequireSeed)}
+	}
+	if ferr := failpoint.Inject(failpoint.ServerAbsorb); ferr != nil {
+		// Chaos hook: the absorb fails after validation but before the
+		// group is touched — the site must see a retryable error and the
+		// group state must be exactly as if the push never arrived.
+		return wire.Ack{Code: wire.AckError, Detail: ferr.Error()}
 	}
 
 	s.mu.Lock()

@@ -1,0 +1,127 @@
+package server_test
+
+// Golden test for the /statsz introspection surface: the JSON shape —
+// key names, nesting, group layout — is an operator-facing contract
+// (dashboards and scrapers bind to it), so a renamed or vanished field
+// must fail loudly here. Timing-dependent values are normalized before
+// comparison; everything else in the fixture is deterministic.
+//
+// Regenerate with: go test ./internal/server -run StatszGolden -update-golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// volatileStatszKeys are timing- or scheduling-dependent: their values
+// are normalized to a sentinel, but the keys must still be present.
+var volatileStatszKeys = map[string]bool{
+	"merge_nanos_total": true,
+	"merge_nanos_max":   true,
+	"merge_nanos_mean":  true,
+	"active_conns":      true,
+}
+
+func normalizeStatsz(m map[string]any) {
+	for k, v := range m {
+		if volatileStatszKeys[k] {
+			m[k] = "<volatile>"
+			continue
+		}
+		if groups, ok := v.([]any); ok && k == "groups" {
+			for _, g := range groups {
+				if gm, ok := g.(map[string]any); ok {
+					normalizeStatsz(gm)
+				}
+			}
+		}
+	}
+}
+
+func TestStatszGoldenShape(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr := startServer(t, srv)
+
+	// A fully deterministic fixture: one fixed sketch absorbed, one
+	// query served. Every non-volatile byte of the snapshot follows.
+	est := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: 9})
+	for x := uint64(0); x < 100; x++ {
+		est.Process(x)
+	}
+	msg, err := est.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := testClient(addr)
+	if _, err := cl.Push(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.DistinctCount(9); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.StatszHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/statsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("statsz status %d", rec.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("statsz is not JSON: %v", err)
+	}
+	normalizeStatsz(m)
+	got, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join("testdata", "statsz.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/statsz shape drifted from golden (regenerate with -update-golden if intentional)\n--- got\n%s--- want\n%s", got, want)
+	}
+
+	// Belt and braces: every JSON tag declared on Stats and GroupStats
+	// must appear in the rendered output — a field silently dropped
+	// from the wire (e.g. by a misplaced omitempty on a field that is
+	// zero here) fails even if the golden was blindly regenerated.
+	rendered := string(got)
+	for _, typ := range []reflect.Type{reflect.TypeOf(server.Stats{}), reflect.TypeOf(server.GroupStats{})} {
+		for i := 0; i < typ.NumField(); i++ {
+			tag := strings.Split(typ.Field(i).Tag.Get("json"), ",")[0]
+			if tag == "" || tag == "-" {
+				continue
+			}
+			if strings.Contains(typ.Field(i).Tag.Get("json"), "omitempty") {
+				continue // legitimately absent in this fixture
+			}
+			if !strings.Contains(rendered, `"`+tag+`"`) {
+				t.Errorf("field %s.%s (json %q) missing from /statsz output", typ.Name(), typ.Field(i).Name, tag)
+			}
+		}
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"repro/internal/failpoint"
 )
 
 const (
@@ -138,16 +140,26 @@ func EncodeFrame(t MsgType, payload []byte) []byte {
 
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if err := failpoint.Inject(failpoint.WireEncode); err != nil {
+		return err
+	}
 	_, err := w.Write(EncodeFrame(t, payload))
 	return err
 }
 
 // ReadFrame reads exactly one frame from r, enforcing limit (0 selects
 // DefaultMaxPayload) on the payload length. It returns the message
-// type and payload, or one of ErrFrame/ErrVersion/ErrOversize (io.EOF
-// passes through untouched when the stream ends cleanly between
-// frames).
+// type and payload, or one of ErrFrame/ErrVersion/ErrOversize. A bare
+// io.EOF is returned only when the stream ends cleanly between frames;
+// every mid-frame truncation — including inside the header's CRC
+// trailer or exactly at the header/payload boundary — surfaces as an
+// ErrFrame-wrapped error that satisfies errors.Is(err,
+// io.ErrUnexpectedEOF) and never errors.Is(err, io.EOF), so callers
+// cannot mistake a damaged frame for a clean goodbye.
 func ReadFrame(r io.Reader, limit uint32) (MsgType, []byte, error) {
+	if err := failpoint.Inject(failpoint.WireDecode); err != nil {
+		return 0, nil, err
+	}
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -161,6 +173,13 @@ func ReadFrame(r io.Reader, limit uint32) (MsgType, []byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			// Zero payload bytes after a complete header is still a
+			// truncated frame, not a clean end of stream; wrapping the
+			// bare io.EOF would let errors.Is(err, io.EOF) misclassify
+			// it as a graceful hangup.
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, fmt.Errorf("%w: truncated payload: %w", ErrFrame, err)
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[8:12]); got != want {
@@ -232,6 +251,12 @@ const (
 	AckUnsupported
 	// AckError: any other server-side failure; Detail explains.
 	AckError
+	// AckBadFrame: the frame itself failed wire-level validation (bad
+	// magic, truncation, checksum mismatch) — the bytes were damaged
+	// in transit, not the message, so the sender may retry the same
+	// payload. Distinct from AckCorrupt, which reports a well-framed
+	// payload whose sketch-level decoding failed and is permanent.
+	AckBadFrame
 
 	numAckCodes
 )
@@ -251,6 +276,8 @@ func (c AckCode) String() string {
 		return "unsupported"
 	case AckError:
 		return "error"
+	case AckBadFrame:
+		return "bad-frame"
 	default:
 		return fmt.Sprintf("AckCode(%d)", uint8(c))
 	}

@@ -97,6 +97,43 @@ func TestFrameRejections(t *testing.T) {
 	}
 }
 
+// TestReadFrameTruncationAlwaysErrFrame is the regression test for
+// the truncated-frame error contract: cutting a valid frame at ANY
+// byte offset — inside the magic, the CRC trailer of the header, at
+// the header/payload boundary, or mid-payload — must yield an error
+// that (a) wraps ErrFrame, (b) satisfies errors.Is(err,
+// io.ErrUnexpectedEOF) so the truncation stays inspectable, and (c)
+// never satisfies errors.Is(err, io.EOF), which is reserved for a
+// clean end of stream between frames. The header/payload boundary
+// (offset HeaderSize) used to wrap a bare io.EOF, which let a
+// truncated frame masquerade as a graceful hangup.
+func TestReadFrameTruncationAlwaysErrFrame(t *testing.T) {
+	good := EncodeFrame(MsgPush, []byte("payload"))
+	for n := 1; n < len(good); n++ {
+		_, _, err := ReadFrame(bytes.NewReader(good[:n]), 0)
+		if err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("truncation at %d: err = %v, not ErrFrame-wrapped", n, err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("truncation at %d: err = %v, truncation cause lost", n, err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Errorf("truncation at %d: err = %v satisfies errors.Is(err, io.EOF); a damaged frame must not look like a clean close", n, err)
+		}
+		if err == io.ErrUnexpectedEOF {
+			t.Errorf("truncation at %d: bare io.ErrUnexpectedEOF escaped unwrapped", n)
+		}
+	}
+	// Offset 0 is the one legitimate io.EOF: the stream ended cleanly
+	// before a frame began.
+	if _, _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want bare io.EOF", err)
+	}
+}
+
 func TestFrameOversize(t *testing.T) {
 	enc := EncodeFrame(MsgPush, bytes.Repeat([]byte{1}, 100))
 	if _, _, err := ReadFrame(bytes.NewReader(enc), 64); !errors.Is(err, ErrOversize) {
@@ -118,6 +155,7 @@ func TestAckRoundTrip(t *testing.T) {
 	for _, a := range []Ack{
 		{Code: AckOK},
 		{Code: AckSeedMismatch, Detail: "seed 7 != required 42"},
+		{Code: AckBadFrame, Detail: "wire: malformed frame: checksum 00000000, header says ffffffff"},
 		{Code: AckError, Detail: strings.Repeat("e", maxAckDetail+100)},
 	} {
 		got, err := DecodeAck(a.Encode())
