@@ -66,6 +66,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== sketch conformance (all registered kinds, -race) =="
+# The shared conformance suite (internal/sketch/sketchtest) run against
+# every registered kind: envelope round-trips, byte-identical
+# commutative/associative/idempotent merges, typed mismatch refusals.
+# Already covered by the ./... run above, but named here so a failure
+# in a newly registered kind is unmistakable in the CI log.
+go test -race -run '^TestConformance$' -count=1 ./internal/sketch
+
 echo "== chaos suite (seeds 1..3) =="
 # The deterministic fault-injection suites (internal/failpoint +
 # internal/faultnet): every seeded fault schedule must leave the
@@ -96,5 +104,11 @@ echo "== fuzz smoke: FuzzClientReadFrame (10s) =="
 # Same budget for the client's reply reader, which replays the wire
 # fuzzer's shared corpus and must agree with it frame for frame.
 go test -run='^$' -fuzz='^FuzzClientReadFrame$' -fuzztime=10s ./internal/client
+
+echo "== fuzz smoke: FuzzSketchOpen (10s) =="
+# And for the registry envelope opener, which fronts every decoder in
+# the sketch registry: no input may panic it, and every accepted input
+# must re-encode to an identical envelope header.
+go test -run='^$' -fuzz='^FuzzSketchOpen$' -fuzztime=10s ./internal/sketch
 
 echo "ci.sh: all checks passed"

@@ -58,15 +58,16 @@ func main() {
 			}
 			n++
 		})
-		// Simulate the one-shot message: serialize, count bytes,
-		// decode at the "coordinator".
-		msg, err := sk.MarshalBinary()
+		// Simulate the one-shot message: the same self-describing
+		// envelope a site pushes to unionstreamd — serialize, count
+		// bytes, decode at the "coordinator".
+		msg, err := sk.Envelope()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "unioncount:", err)
 			os.Exit(1)
 		}
 		totalBytes += len(msg)
-		decoded, err := unionstream.Decode(msg)
+		decoded, err := unionstream.DecodeEnvelope(msg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "unioncount:", err)
 			os.Exit(1)

@@ -6,10 +6,15 @@
 // coordinator is briefly unreachable. With -query it then asks the
 // coordinator for the union estimates.
 //
+// -backend selects the sketch kind: "gt" (default, the paper's
+// sampler, honoring -delta) or any other registered kind ("fm",
+// "ams", "bjkst", "kmv", "hll", "window", "exact").
+//
 // Usage:
 //
-//	unionpush [-addr host:7600] [-eps 0.05] [-delta 0.01] [-seed 42]
-//	          [-attempts 4] [-timeout 5s] [-query] stream1.gts ...
+//	unionpush [-addr host:7600] [-backend gt] [-eps 0.05] [-delta 0.01]
+//	          [-seed 42] [-attempts 4] [-timeout 5s] [-query]
+//	          stream1.gts ...
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"strings"
 
 	"repro/internal/client"
 	"repro/internal/stream"
@@ -30,6 +37,7 @@ func main() {
 		eps      = flag.Float64("eps", 0.05, "target relative error")
 		delta    = flag.Float64("delta", 0.01, "target failure probability")
 		seed     = flag.Uint64("seed", 42, "shared coordination seed")
+		backend  = flag.String("backend", "gt", "sketch kind to push ("+strings.Join(unionstream.Backends(), ", ")+")")
 		attempts = flag.Int("attempts", 4, "push attempts per site (with exponential backoff)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "dial timeout")
 		query    = flag.Bool("query", false, "query the union estimates after pushing")
@@ -48,28 +56,49 @@ func main() {
 	})
 	opts := unionstream.Options{Epsilon: *eps, Delta: *delta, Seed: *seed}
 
-	for _, path := range files {
+	// sketchFile reads one stream file into a fresh sketch of the
+	// selected backend and returns its envelope. The "gt" backend goes
+	// through unionstream.New so -delta is honored.
+	sketchFile := func(path string) (msg []byte, items int, err error) {
 		src, err := stream.ReadFile(path)
 		if err != nil {
-			fail("%s: %v", path, err)
+			return nil, 0, err
 		}
-		sk, err := unionstream.New(opts)
+		if *backend == "gt" {
+			sk, err := unionstream.New(opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			stream.Feed(src, func(it stream.Item) {
+				sk.AddValued(it.Label, it.Value)
+				items++
+			})
+			msg, err = sk.Envelope()
+			return msg, items, err
+		}
+		b, err := unionstream.NewBackend(*backend, *eps, *seed)
 		if err != nil {
-			fail("%v", err)
+			return nil, 0, err
 		}
-		n := 0
 		stream.Feed(src, func(it stream.Item) {
-			sk.AddValued(it.Label, it.Value)
-			n++
+			b.AddValued(it.Label, it.Value)
+			items++
 		})
-		msg, err := sk.MarshalBinary()
+		msg, err = b.MarshalBinary()
+		return msg, items, err
+	}
+
+	for _, path := range files {
+		msg, n, err := sketchFile(path)
 		if err != nil {
-			fail("%v", err)
+			fail("%s: %v", path, err)
 		}
 		tries, err := cl.Push(msg)
 		switch {
 		case errors.Is(err, client.ErrSeedMismatch):
 			fail("%s: coordinator refused our coordination seed %d: %v", path, *seed, err)
+		case errors.Is(err, client.ErrKindMismatch):
+			fail("%s: coordinator is pinned to another sketch kind (ours: %s): %v", path, *backend, err)
 		case errors.Is(err, client.ErrVersionMismatch):
 			fail("%s: coordinator speaks a different protocol version: %v", path, err)
 		case err != nil:

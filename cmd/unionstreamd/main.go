@@ -1,13 +1,15 @@
 // Command unionstreamd runs the paper's referee as a network daemon:
-// a coordinator that accepts one-shot sketch messages from distributed
-// sites over TCP, merges them into per-configuration groups, and
-// answers union queries (distinct count, duplicate-insensitive sum,
-// predicate counts) plus a JSON /statsz introspection endpoint.
+// a coordinator that accepts one-shot sketch envelopes of any
+// registered kind from distributed sites over TCP, merges them into
+// per-(kind, configuration) groups, and answers union queries
+// (distinct count, duplicate-insensitive sum, predicate counts) plus
+// a JSON /statsz introspection endpoint.
 //
 // Usage:
 //
 //	unionstreamd [-addr :7600] [-statsz :7601] [-workers N]
-//	             [-require-seed N] [-max-frame BYTES] [-quiet]
+//	             [-require-seed N] [-require-kind gt]
+//	             [-max-frame BYTES] [-quiet]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight messages
 // finish absorbing and are acked before the process exits. Push
@@ -26,6 +28,9 @@ import (
 	"time"
 
 	"repro/internal/server"
+
+	// Register every sketch kind the daemon can absorb.
+	_ "repro/internal/sketch/kinds"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 		maxFrame    = flag.Uint("max-frame", 0, "maximum accepted frame payload in bytes (0 = 16 MiB)")
 		requireSeed = flag.Uint64("require-seed", 0, "reject sketches whose coordination seed differs (with -pin-seed)")
 		pinSeed     = flag.Bool("pin-seed", false, "enforce -require-seed (otherwise any seed forms its own group)")
+		requireKind = flag.String("require-kind", "", "reject sketches of any other kind (empty = accept all registered kinds)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
 	)
@@ -50,10 +56,11 @@ func main() {
 		logf = nil
 	}
 	cfg := server.Config{
-		Addr:       *addr,
-		Workers:    *workers,
-		MaxPayload: uint32(*maxFrame),
-		Logf:       logf,
+		Addr:        *addr,
+		Workers:     *workers,
+		MaxPayload:  uint32(*maxFrame),
+		RequireKind: *requireKind,
+		Logf:        logf,
 	}
 	if *pinSeed {
 		cfg.RequireSeed = requireSeed

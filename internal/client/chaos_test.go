@@ -22,6 +22,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/faultnet"
 	"repro/internal/server"
+	"repro/internal/sketch"
 )
 
 var chaosSeed = flag.Uint64("chaos.seed", 0, "fault schedule seed for the chaos suite (0 = default seed 1)")
@@ -70,7 +71,7 @@ func chaosMessages(t *testing.T, cfg core.EstimatorConfig, sites int) (msgs [][]
 			est.Process(x)
 			union.Process(x)
 		}
-		msg, err := est.MarshalBinary()
+		msg, err := sketch.Envelope(est)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,8 +6,9 @@
 // Transient failures (refused or dropped connections, timeouts) are
 // retried with capped exponential backoff plus jitter; protocol
 // refusals from the coordinator are permanent and surface as typed
-// errors — ErrVersionMismatch and ErrSeedMismatch — so a
-// mis-deployed site fails loudly instead of hanging or spinning.
+// errors — ErrVersionMismatch, ErrSeedMismatch, and
+// ErrKindMismatch — so a mis-deployed site fails loudly instead of
+// hanging or spinning.
 package client
 
 import (
@@ -24,7 +25,7 @@ import (
 	"repro/internal/wire"
 )
 
-// Typed failures. The first three are permanent — retrying cannot fix
+// Typed failures. The first four are permanent — retrying cannot fix
 // a protocol disagreement or a condemned payload; ErrFrameDamaged and
 // ErrCoordinator are transient and drive the retry loop.
 var (
@@ -35,6 +36,9 @@ var (
 	// coordination seed (or configuration) — the site is not part of
 	// this deployment's coordinated fleet.
 	ErrSeedMismatch = errors.New("client: coordination seed rejected by coordinator")
+	// ErrKindMismatch: the coordinator is pinned to a different sketch
+	// kind (server.Config.RequireKind) than the one pushed.
+	ErrKindMismatch = errors.New("client: sketch kind rejected by coordinator")
 	// ErrRejected: the coordinator refused the message for another
 	// reason (corrupt payload, unsupported request); the wrapped
 	// detail explains.
@@ -115,18 +119,12 @@ func New(cfg Config) *Client {
 	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Push sends one sketch message (a unionstream.Sketch /
-// core.Estimator encoding) and waits for the coordinator's ack,
-// retrying transient failures. It returns the number of attempts made
-// alongside any final error.
-func (c *Client) Push(sketch []byte) (attempts int, err error) {
-	return c.pushFrame(wire.MsgPush, sketch)
-}
-
-// PushOpaque sends a protocol-defined message for the coordinator's
-// opaque protocol (see server.Config.Opaque).
-func (c *Client) PushOpaque(msg []byte) (attempts int, err error) {
-	return c.pushFrame(wire.MsgOpaque, msg)
+// Push sends one sketch message (a sketch.Envelope of any registered
+// kind) and waits for the coordinator's ack, retrying transient
+// failures. It returns the number of attempts made alongside any
+// final error.
+func (c *Client) Push(envelope []byte) (attempts int, err error) {
+	return c.pushFrame(wire.MsgPush, envelope)
 }
 
 func (c *Client) pushFrame(t wire.MsgType, payload []byte) (int, error) {
@@ -298,6 +296,8 @@ func ackError(payload []byte) error {
 		return fmt.Errorf("%w: %s", ErrVersionMismatch, ack.Detail)
 	case wire.AckSeedMismatch:
 		return fmt.Errorf("%w: %s", ErrSeedMismatch, ack.Detail)
+	case wire.AckKindMismatch:
+		return fmt.Errorf("%w: %s", ErrKindMismatch, ack.Detail)
 	case wire.AckBadFrame:
 		// Deliberately NOT ErrRejected: the frame was damaged in
 		// transit, so the retry loop resends the same payload.
@@ -318,6 +318,7 @@ func ackError(payload []byte) error {
 func permanent(err error) bool {
 	return errors.Is(err, ErrVersionMismatch) ||
 		errors.Is(err, ErrSeedMismatch) ||
+		errors.Is(err, ErrKindMismatch) ||
 		errors.Is(err, ErrRejected)
 }
 

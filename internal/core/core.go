@@ -36,24 +36,27 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
-// Errors returned by Merge and UnmarshalBinary.
+// Errors returned by Merge and UnmarshalBinary. Both wrap the
+// repository-wide sketch sentinels, so errors.Is(err,
+// sketch.ErrMismatch) classifies a core failure without importing
+// this package.
 var (
 	// ErrMismatch is returned by Merge when the two sketches were not
 	// built with identical configurations (seed, capacity, family):
 	// merging uncoordinated sketches would silently produce garbage,
 	// which is precisely the failure mode the paper's coordinated
 	// seeds exist to prevent.
-	ErrMismatch = errors.New("core: cannot merge sketches with different configurations")
+	ErrMismatch = fmt.Errorf("core: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 
 	// ErrCorrupt is returned when decoding a malformed sketch.
-	ErrCorrupt = errors.New("core: corrupt sketch encoding")
+	ErrCorrupt = fmt.Errorf("core: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 )
 
 // FamilyKind selects the hash family a sampler draws its level

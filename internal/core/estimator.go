@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // EstimatorConfig parameterizes an Estimator: Copies independent
@@ -96,10 +97,15 @@ func (e *Estimator) ProcessWeighted(label, value uint64) {
 	}
 }
 
-// Merge folds other into e copy-by-copy. Both estimators must share an
-// identical EstimatorConfig (ErrMismatch otherwise). Afterwards e
-// estimates over the union of the two streams.
-func (e *Estimator) Merge(other *Estimator) error {
+// Merge folds other into e copy-by-copy. other must be another
+// *Estimator with an identical EstimatorConfig (ErrMismatch
+// otherwise). Afterwards e estimates over the union of the two
+// streams.
+func (e *Estimator) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Estimator)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *core.Estimator", ErrMismatch, o)
+	}
 	if other == nil {
 		return fmt.Errorf("%w: nil estimator", ErrMismatch)
 	}

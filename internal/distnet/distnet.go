@@ -1,12 +1,16 @@
-// Package distnet runs any distsim.Protocol over a real network: the
+// Package distnet runs a distsim.Protocol over a real network: the
 // referee becomes a unionstreamd coordinator on a loopback TCP socket,
 // sites become goroutines that dial it and push their one-shot
-// messages through internal/client, and the answers come back as wire
-// queries. Because every coordinator in this repository absorbs
-// messages order-independently, the network run's estimates are
-// identical to the in-process simulator's on the same sources — the
-// equivalence the end-to-end tests assert byte-for-byte — while the
-// exported distsim.ByteAccountant keeps the communication accounting
+// envelope messages through internal/client, and the answers come
+// back as wire queries. The coordinator merges by registered sketch
+// kind, so any protocol whose sites emit sketch envelopes (GT, the
+// baselines, exact) runs unchanged; protocols with private message
+// formats (Uncoordinated's local-estimate pairs) are in-process only.
+// Because every sketch in this repository merges order-independently,
+// the network run's estimates are identical to the in-process
+// simulator's on the same sources — the equivalence the end-to-end
+// tests assert byte-for-byte — while the exported
+// distsim.ByteAccountant keeps the communication accounting
 // comparable between the two transports.
 package distnet
 
@@ -21,6 +25,10 @@ import (
 	"repro/internal/client"
 	"repro/internal/distsim"
 	"repro/internal/server"
+
+	// Register every sketch kind so the in-process coordinator can
+	// open whatever envelopes the protocol's sites emit.
+	_ "repro/internal/sketch/kinds"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -63,7 +71,7 @@ func RunOptions(p distsim.Protocol, sources []stream.Source, concurrent bool, op
 		opts.ShutdownTimeout = 10 * time.Second
 	}
 
-	srv := server.New(server.Config{Opaque: p.NewCoordinator()})
+	srv := server.New(server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("distnet: listen: %w", err)
@@ -104,7 +112,7 @@ func RunOptions(p distsim.Protocol, sources []stream.Source, concurrent bool, op
 			IOTimeout:   opts.IOTimeout,
 			JitterSeed:  int64(i) + 1,
 		})
-		if _, err := cl.PushOpaque(msg); err != nil {
+		if _, err := cl.Push(msg); err != nil {
 			return fmt.Errorf("distnet: site %d push: %w", i, err)
 		}
 		acct.Record(i, len(msg))

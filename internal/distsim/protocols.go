@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 	"repro/internal/sketch/ams"
 	"repro/internal/sketch/bjkst"
 	"repro/internal/sketch/fm"
@@ -15,6 +16,91 @@ import (
 	"repro/internal/sketch/ll"
 	"repro/internal/stream"
 )
+
+// kindSite runs any registered sketch kind as a site: it observes the
+// site's stream and serializes the sketch into a self-describing
+// envelope as the end-of-stream message — the same bytes the
+// networked path (internal/client → internal/server) carries.
+type kindSite struct {
+	sk sketch.Sketch
+	// w is non-nil when sk supports weighted processing; the interface
+	// assertion is done once at construction, not per item.
+	w sketch.Weighted
+}
+
+func newKindSite(sk sketch.Sketch) *kindSite {
+	w, _ := sk.(sketch.Weighted)
+	return &kindSite{sk: sk, w: w}
+}
+
+// Process implements SiteSketch.
+//
+// hotpath: called once per stream item.
+func (s *kindSite) Process(it stream.Item) {
+	if s.w != nil {
+		s.w.ProcessWeighted(it.Label, it.Value)
+		return
+	}
+	s.sk.Process(it.Label)
+}
+
+// Message implements SiteSketch: the sketch's registry envelope.
+func (s *kindSite) Message() ([]byte, error) { return sketch.Envelope(s.sk) }
+
+// kindCoord is the referee for envelope messages of any kind: it
+// opens each message through the registry and merges. A corrupt
+// envelope, an unregistered kind, or a configuration mismatch all
+// surface as absorb errors.
+type kindCoord struct {
+	acc sketch.Sketch
+}
+
+func (c *kindCoord) Absorb(msg []byte) error {
+	sk, err := sketch.Open(msg)
+	if err != nil {
+		return err
+	}
+	if c.acc == nil {
+		c.acc = sk
+		return nil
+	}
+	return c.acc.Merge(sk)
+}
+
+func (c *kindCoord) EstimateDistinct() float64 {
+	if c.acc == nil {
+		return 0
+	}
+	return c.acc.Estimate()
+}
+
+// EstimateSum implements Coordinator: NaN for kinds that cannot
+// answer duplicate-insensitive sums.
+func (c *kindCoord) EstimateSum() float64 {
+	if c.acc == nil {
+		return 0
+	}
+	if sum, ok := c.acc.(sketch.Summer); ok {
+		return sum.EstimateSum()
+	}
+	return math.NaN()
+}
+
+// kindProtocol adapts a sketch-kind constructor into a Protocol using
+// kindSite and kindCoord.
+type kindProtocol struct {
+	name string
+	mk   func(site int) sketch.Sketch
+}
+
+// Name implements Protocol.
+func (p *kindProtocol) Name() string { return p.name }
+
+// NewSite implements Protocol.
+func (p *kindProtocol) NewSite(site int) SiteSketch { return newKindSite(p.mk(site)) }
+
+// NewCoordinator implements Protocol.
+func (p *kindProtocol) NewCoordinator() Coordinator { return &kindCoord{} }
 
 // GT is the paper's protocol: every site runs a coordinated
 // core.Estimator (shared master seed), sends its serialized sketch,
@@ -28,49 +114,10 @@ func (g GT) Name() string { return "gt-coordinated" }
 
 // NewSite implements Protocol. Every site uses the identical
 // configuration — the coordination requirement.
-func (g GT) NewSite(int) SiteSketch { return &gtSite{est: core.NewEstimator(g.Config)} }
+func (g GT) NewSite(int) SiteSketch { return newKindSite(core.NewEstimator(g.Config)) }
 
 // NewCoordinator implements Protocol.
-func (g GT) NewCoordinator() Coordinator { return &gtCoord{} }
-
-type gtSite struct {
-	est *core.Estimator
-}
-
-func (s *gtSite) Process(it stream.Item) { s.est.ProcessWeighted(it.Label, it.Value) }
-func (s *gtSite) Message() ([]byte, error) {
-	return s.est.MarshalBinary()
-}
-
-type gtCoord struct {
-	acc *core.Estimator
-}
-
-func (c *gtCoord) Absorb(msg []byte) error {
-	var e core.Estimator
-	if err := e.UnmarshalBinary(msg); err != nil {
-		return err
-	}
-	if c.acc == nil {
-		c.acc = &e
-		return nil
-	}
-	return c.acc.Merge(&e)
-}
-
-func (c *gtCoord) EstimateDistinct() float64 {
-	if c.acc == nil {
-		return 0
-	}
-	return c.acc.EstimateDistinct()
-}
-
-func (c *gtCoord) EstimateSum() float64 {
-	if c.acc == nil {
-		return 0
-	}
-	return c.acc.EstimateSum()
-}
+func (g GT) NewCoordinator() Coordinator { return &kindCoord{} }
 
 // Uncoordinated is the strawman E3 contrasts with GT: each site runs
 // the same sampler but with an *independent* seed, so sketches cannot
@@ -124,203 +171,55 @@ func (c *sumCoord) EstimateDistinct() float64 { return c.distinct }
 func (c *sumCoord) EstimateSum() float64      { return c.sum }
 
 // Exact is the communication baseline: each site ships its entire
-// distinct label set (8 bytes per label) and the coordinator unions
-// exactly. Accuracy is perfect; E6 measures what that costs in bytes.
+// distinct label/value set and the coordinator unions exactly.
+// Accuracy is perfect; E6 measures what that costs in bytes.
 type Exact struct{}
 
 // Name implements Protocol.
 func (Exact) Name() string { return "exact-dedup" }
 
 // NewSite implements Protocol.
-func (Exact) NewSite(int) SiteSketch { return &exactSite{d: exact.NewDistinct()} }
+func (Exact) NewSite(int) SiteSketch { return newKindSite(exact.NewDistinct()) }
 
 // NewCoordinator implements Protocol.
-func (Exact) NewCoordinator() Coordinator { return &exactCoord{d: exact.NewDistinct()} }
-
-type exactSite struct {
-	d      *exact.Distinct
-	labels []uint64
-	values []uint64
-}
-
-func (s *exactSite) Process(it stream.Item) {
-	if !s.d.Contains(it.Label) {
-		s.labels = append(s.labels, it.Label)
-		s.values = append(s.values, it.Value)
-	}
-	s.d.ProcessWeighted(it.Label, it.Value)
-}
-
-func (s *exactSite) Message() ([]byte, error) {
-	b := make([]byte, 0, 16*len(s.labels))
-	for i, l := range s.labels {
-		b = binary.LittleEndian.AppendUint64(b, l)
-		b = binary.LittleEndian.AppendUint64(b, s.values[i])
-	}
-	return b, nil
-}
-
-type exactCoord struct {
-	d *exact.Distinct
-}
-
-func (c *exactCoord) Absorb(msg []byte) error {
-	if len(msg)%16 != 0 {
-		return fmt.Errorf("exact: message length %d not a multiple of 16", len(msg))
-	}
-	for i := 0; i < len(msg); i += 16 {
-		label := binary.LittleEndian.Uint64(msg[i:])
-		value := binary.LittleEndian.Uint64(msg[i+8:])
-		c.d.ProcessWeighted(label, value)
-	}
-	return nil
-}
-
-func (c *exactCoord) EstimateDistinct() float64 { return float64(c.d.Count()) }
-func (c *exactCoord) EstimateSum() float64      { return float64(c.d.Sum()) }
-
-// baselineSketch is the common shape of the comparison sketches (FM,
-// AMS, KMV, BJKST, LogLog): distinct-count only, mergeable, with a
-// binary wire format.
-type baselineSketch interface {
-	Process(label uint64)
-	Estimate() float64
-	MarshalBinary() ([]byte, error)
-}
-
-// baseline adapts any baselineSketch into a Protocol: sites serialize
-// their sketch as the end-of-stream message and the coordinator
-// decodes and merges. decode must return a fresh sketch parsed from
-// the message; merge folds src into dst.
-type baseline struct {
-	name   string
-	make   func(site int) baselineSketch
-	decode func(msg []byte) (baselineSketch, error)
-	merge  func(dst, src baselineSketch) error
-}
-
-// Name implements Protocol.
-func (b *baseline) Name() string { return b.name }
-
-// NewSite implements Protocol.
-func (b *baseline) NewSite(site int) SiteSketch {
-	return &baselineSite{sk: b.make(site)}
-}
-
-// NewCoordinator implements Protocol.
-func (b *baseline) NewCoordinator() Coordinator { return &baselineCoord{p: b} }
-
-type baselineSite struct {
-	sk baselineSketch
-}
-
-func (s *baselineSite) Process(it stream.Item)   { s.sk.Process(it.Label) }
-func (s *baselineSite) Message() ([]byte, error) { return s.sk.MarshalBinary() }
-
-type baselineCoord struct {
-	p   *baseline
-	acc baselineSketch
-}
-
-func (c *baselineCoord) Absorb(msg []byte) error {
-	sk, err := c.p.decode(msg)
-	if err != nil {
-		return err
-	}
-	if c.acc == nil {
-		c.acc = sk
-		return nil
-	}
-	return c.p.merge(c.acc, sk)
-}
-
-func (c *baselineCoord) EstimateDistinct() float64 {
-	if c.acc == nil {
-		return 0
-	}
-	return c.acc.Estimate()
-}
-
-// EstimateSum implements Coordinator; the baseline distinct sketches
-// do not support value sums.
-func (c *baselineCoord) EstimateSum() float64 { return math.NaN() }
+func (Exact) NewCoordinator() Coordinator { return &kindCoord{} }
 
 // NewFM returns the FM/PCSA baseline protocol (strong hashing).
 func NewFM(numMaps int, seed uint64) Protocol {
-	return &baseline{
+	return &kindProtocol{
 		name: "fm-pcsa",
-		make: func(int) baselineSketch { return fm.New(numMaps, seed) },
-		decode: func(msg []byte) (baselineSketch, error) {
-			var s fm.Sketch
-			err := s.UnmarshalBinary(msg)
-			return &s, err
-		},
-		merge: func(dst, src baselineSketch) error {
-			return dst.(*fm.Sketch).Merge(src.(*fm.Sketch))
-		},
+		mk:   func(int) sketch.Sketch { return fm.New(numMaps, seed) },
 	}
 }
 
 // NewAMS returns the AMS baseline protocol.
 func NewAMS(copies int, seed uint64) Protocol {
-	return &baseline{
+	return &kindProtocol{
 		name: "ams",
-		make: func(int) baselineSketch { return ams.New(copies, seed) },
-		decode: func(msg []byte) (baselineSketch, error) {
-			var s ams.Sketch
-			err := s.UnmarshalBinary(msg)
-			return &s, err
-		},
-		merge: func(dst, src baselineSketch) error {
-			return dst.(*ams.Sketch).Merge(src.(*ams.Sketch))
-		},
+		mk:   func(int) sketch.Sketch { return ams.New(copies, seed) },
 	}
 }
 
 // NewKMV returns the KMV/bottom-k baseline protocol.
 func NewKMV(k int, seed uint64) Protocol {
-	return &baseline{
+	return &kindProtocol{
 		name: "kmv",
-		make: func(int) baselineSketch { return kmv.New(k, seed) },
-		decode: func(msg []byte) (baselineSketch, error) {
-			var s kmv.Sketch
-			err := s.UnmarshalBinary(msg)
-			return &s, err
-		},
-		merge: func(dst, src baselineSketch) error {
-			return dst.(*kmv.Sketch).Merge(src.(*kmv.Sketch))
-		},
+		mk:   func(int) sketch.Sketch { return kmv.New(k, seed) },
 	}
 }
 
 // NewBJKST returns the BJKST baseline protocol.
 func NewBJKST(capacity int, seed uint64) Protocol {
-	return &baseline{
+	return &kindProtocol{
 		name: "bjkst",
-		make: func(int) baselineSketch { return bjkst.New(capacity, seed) },
-		decode: func(msg []byte) (baselineSketch, error) {
-			var s bjkst.Sketch
-			err := s.UnmarshalBinary(msg)
-			return &s, err
-		},
-		merge: func(dst, src baselineSketch) error {
-			return dst.(*bjkst.Sketch).Merge(src.(*bjkst.Sketch))
-		},
+		mk:   func(int) sketch.Sketch { return bjkst.New(capacity, seed) },
 	}
 }
 
 // NewLogLog returns the HLL-style baseline protocol (strong hashing).
 func NewLogLog(numRegs int, seed uint64) Protocol {
-	return &baseline{
+	return &kindProtocol{
 		name: "hll",
-		make: func(int) baselineSketch { return ll.New(numRegs, seed) },
-		decode: func(msg []byte) (baselineSketch, error) {
-			var s ll.Sketch
-			err := s.UnmarshalBinary(msg)
-			return &s, err
-		},
-		merge: func(dst, src baselineSketch) error {
-			return dst.(*ll.Sketch).Merge(src.(*ll.Sketch))
-		},
+		mk:   func(int) sketch.Sketch { return ll.New(numRegs, seed) },
 	}
 }

@@ -7,7 +7,11 @@
 // union exactly.
 package exact
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
 
 // Distinct counts distinct labels exactly, optionally carrying each
 // label's fixed value for SumDistinct. The zero value is not usable;
@@ -69,13 +73,21 @@ func (d *Distinct) SumWhere(pred func(label uint64) bool) uint64 {
 
 // Merge folds other into d (set union; first value wins on overlap,
 // and the fixed-value contract makes overlapping values equal anyway).
-func (d *Distinct) Merge(other *Distinct) {
+// other must be another *Distinct; the error return exists for the
+// sketch.Sketch contract — same-kind merges cannot fail, since exact
+// sets have no configuration to disagree on.
+func (d *Distinct) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Distinct)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *exact.Distinct", sketch.ErrMismatch, o)
+	}
 	if other == nil {
-		return
+		return nil
 	}
 	for label, v := range other.values {
 		d.ProcessWeighted(label, v)
 	}
+	return nil
 }
 
 // Contains reports whether label has been observed.

@@ -37,25 +37,12 @@ func chaosSeeds() []uint64 {
 	return []uint64{1}
 }
 
-// serialReference merges msgs in order on a single estimator and
-// returns its canonical encoding — the fault-free ground truth every
+// serialReference merges the envelopes in order and returns the
+// canonical accumulated encoding — the fault-free ground truth every
 // chaos run must reproduce bit for bit.
 func serialReference(t *testing.T, msgs [][]byte) []byte {
 	t.Helper()
-	var ref core.Estimator
-	if err := ref.UnmarshalBinary(msgs[0]); err != nil {
-		t.Fatal(err)
-	}
-	for _, msg := range msgs[1:] {
-		var e core.Estimator
-		if err := e.UnmarshalBinary(msg); err != nil {
-			t.Fatal(err)
-		}
-		if err := ref.Merge(&e); err != nil {
-			t.Fatal(err)
-		}
-	}
-	out, err := ref.MarshalBinary()
+	out, err := serialMerge(msgs)
 	if err != nil {
 		t.Fatal(err)
 	}

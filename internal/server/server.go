@@ -1,10 +1,12 @@
 // Package server implements unionstreamd's coordinator: the paper's
 // referee as a long-running network daemon. Sites connect over TCP,
-// push their one-shot sketch messages (framed by internal/wire), and
-// the daemon merges them into per-configuration groups it can answer
-// union queries from — distinct counts, duplicate-insensitive sums,
-// and predicate counts — exactly as the in-process simulator does, but
-// across machines.
+// push their one-shot sketch messages (internal/sketch envelopes,
+// framed by internal/wire), and the daemon routes each through the
+// kind registry and merges it into its (kind, config digest) group.
+// Groups answer union queries — distinct counts, duplicate-insensitive
+// sums, and predicate counts, each subject to the kind's capabilities
+// — exactly as the in-process simulator does, but across machines and
+// across every registered sketch backend.
 //
 // # Concurrency model
 //
@@ -28,28 +30,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"runtime"
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/failpoint"
+	"repro/internal/sketch"
 	"repro/internal/wire"
 )
 
-// OpaqueCoordinator absorbs protocol-defined site messages and answers
-// union estimates. distsim.Coordinator satisfies it structurally,
-// which is what lets internal/distnet run any simulator protocol over
-// this server without the server knowing the message format.
-type OpaqueCoordinator interface {
-	Absorb(msg []byte) error
-	EstimateDistinct() float64
-	EstimateSum() float64
-}
-
 // Config parameterizes a Server. The zero value listens with default
-// limits and accepts sketches of any coordination seed.
+// limits and accepts sketches of any registered kind and any
+// coordination seed.
 type Config struct {
 	// Addr is the TCP listen address for ListenAndServe (e.g.
 	// ":7600"). Ignored by Serve, which takes a listener.
@@ -64,20 +58,36 @@ type Config struct {
 	// pinned and an uncoordinated site must hear a typed refusal, not
 	// silently form its own group.
 	RequireSeed *uint64
-	// Opaque, when set, serves MsgOpaque pushes by delegating to this
-	// coordinator (absorbs serialized under an internal lock). Queries
-	// answer from it when the server holds no sketch groups.
-	Opaque OpaqueCoordinator
+	// RequireKind, when non-empty, rejects pushes of any other sketch
+	// backend (a registered kind name, e.g. "gt") with
+	// AckKindMismatch — the backend analogue of RequireSeed.
+	RequireKind string
 	// Logf, when set, receives one line per lifecycle event and
 	// per-connection error (e.g. log.Printf). Nil disables logging.
 	Logf func(format string, args ...any)
 }
 
-// group is one mergeable family of sketches: everything pushed with an
-// identical EstimatorConfig (seed, capacity, copies, family, raise).
+// groupKey identifies one merge group: a sketch kind plus its
+// canonical config digest. Two envelopes land in the same group
+// exactly when their sketches are merge-compatible — which is why the
+// digest, not a kind-specific config struct, is the key.
+type groupKey struct {
+	kind   sketch.Kind
+	digest uint64
+}
+
+// group is one mergeable family of sketches: everything pushed with
+// the same kind and configuration digest.
 type group struct {
-	mu       sync.Mutex // guards: est, absorbed, bytes
-	est      *core.Estimator
+	// kind, name, seed, and digest are fixed at creation (from the
+	// first absorbed envelope) and readable without the lock.
+	kind   sketch.Kind
+	name   string
+	seed   uint64
+	digest uint64
+
+	mu       sync.Mutex // guards: sk, absorbed, bytes
+	sk       sketch.Sketch
 	absorbed int64
 	bytes    int64
 }
@@ -88,7 +98,6 @@ type group struct {
 // in parallel up to the pool bound.
 type absorbJob struct {
 	payload []byte
-	opaque  bool
 	ack     wire.Ack
 	done    chan struct{}
 }
@@ -104,15 +113,11 @@ type Server struct {
 	connWG   sync.WaitGroup
 
 	mu       sync.Mutex // guards: groups, ln, conns, started, shutdown
-	groups   map[core.EstimatorConfig]*group
+	groups   map[groupKey]*group
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	started  bool
 	shutdown bool
-
-	opaqueMu       sync.Mutex // guards: opaqueAbsorbed, opaqueBytes
-	opaqueAbsorbed int64
-	opaqueBytes    int64
 
 	stats counters
 }
@@ -129,7 +134,7 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		jobs:   make(chan *absorbJob),
 		quit:   make(chan struct{}),
-		groups: make(map[core.EstimatorConfig]*group),
+		groups: make(map[groupKey]*group),
 		conns:  make(map[net.Conn]struct{}),
 	}
 }
@@ -273,11 +278,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for job := range s.jobs {
-		if job.opaque {
-			job.ack = s.absorbOpaque(job.payload)
-		} else {
-			job.ack = s.absorbSketch(job.payload)
-		}
+		job.ack = s.absorbSketch(job.payload)
 		close(job.done)
 	}
 }
@@ -324,8 +325,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.stats.bytesRead.Add(int64(wire.HeaderSize + len(payload)))
 
 		switch typ {
-		case wire.MsgPush, wire.MsgOpaque:
-			job := &absorbJob{payload: payload, opaque: typ == wire.MsgOpaque, done: make(chan struct{})}
+		case wire.MsgPush:
+			job := &absorbJob{payload: payload, done: make(chan struct{})}
 			select {
 			case s.jobs <- job:
 				<-job.done
@@ -377,17 +378,24 @@ func (s *Server) writeAck(conn net.Conn, a wire.Ack) bool {
 	return true
 }
 
-// absorbSketch decodes a pushed estimator sketch and merges it into
-// its configuration's group, creating the group on first contact.
+// absorbSketch opens a pushed sketch envelope and merges it into its
+// (kind, config digest) group, creating the group on first contact.
 func (s *Server) absorbSketch(payload []byte) wire.Ack {
-	var est core.Estimator
-	if err := est.UnmarshalBinary(payload); err != nil {
+	sk, err := sketch.Open(payload)
+	if err != nil {
+		if errors.Is(err, sketch.ErrUnknownKind) {
+			return wire.Ack{Code: wire.AckUnsupported, Detail: err.Error()}
+		}
 		return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
 	}
-	cfg := est.Config()
-	if s.cfg.RequireSeed != nil && cfg.Seed != *s.cfg.RequireSeed {
+	info, _ := sketch.Lookup(sk.Kind())
+	if s.cfg.RequireKind != "" && info.Name != s.cfg.RequireKind {
+		return wire.Ack{Code: wire.AckKindMismatch,
+			Detail: fmt.Sprintf("sketch kind %q, coordinator requires %q", info.Name, s.cfg.RequireKind)}
+	}
+	if s.cfg.RequireSeed != nil && sk.Seed() != *s.cfg.RequireSeed {
 		return wire.Ack{Code: wire.AckSeedMismatch,
-			Detail: fmt.Sprintf("sketch seed %d, coordinator requires %d", cfg.Seed, *s.cfg.RequireSeed)}
+			Detail: fmt.Sprintf("sketch seed %d, coordinator requires %d", sk.Seed(), *s.cfg.RequireSeed)}
 	}
 	if ferr := failpoint.Inject(failpoint.ServerAbsorb); ferr != nil {
 		// Chaos hook: the absorb fails after validation but before the
@@ -396,60 +404,36 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 		return wire.Ack{Code: wire.AckError, Detail: ferr.Error()}
 	}
 
+	key := groupKey{kind: sk.Kind(), digest: sk.Digest()}
 	s.mu.Lock()
-	g, ok := s.groups[cfg]
+	g, ok := s.groups[key]
 	if !ok {
-		g = &group{}
-		s.groups[cfg] = g
+		g = &group{kind: key.kind, name: info.Name, seed: sk.Seed(), digest: key.digest}
+		s.groups[key] = g
 	}
 	s.mu.Unlock()
 
 	start := time.Now()
 	g.mu.Lock()
-	var err error
-	if g.est == nil {
-		g.est = &est
+	var merr error
+	if g.sk == nil {
+		g.sk = sk
 	} else {
-		err = g.est.Merge(&est)
+		merr = g.sk.Merge(sk)
 	}
-	if err == nil {
+	if merr == nil {
 		g.absorbed++
 		g.bytes += int64(len(payload))
 	}
 	g.mu.Unlock()
-	if err != nil {
-		// Unreachable while groups are keyed by full config, but a
-		// future key relaxation must not turn this into a silent drop.
-		if errors.Is(err, core.ErrMismatch) {
-			return wire.Ack{Code: wire.AckSeedMismatch, Detail: err.Error()}
+	if merr != nil {
+		// Unreachable while groups are keyed by config digest (equal
+		// digest means mergeable), but a future key relaxation must not
+		// turn this into a silent drop.
+		if errors.Is(merr, sketch.ErrMismatch) {
+			return wire.Ack{Code: wire.AckSeedMismatch, Detail: merr.Error()}
 		}
-		return wire.Ack{Code: wire.AckError, Detail: err.Error()}
-	}
-	s.recordMerge(time.Since(start), int64(len(payload)))
-	return wire.Ack{Code: wire.AckOK}
-}
-
-func (s *Server) absorbOpaque(payload []byte) wire.Ack {
-	if s.cfg.Opaque == nil {
-		return wire.Ack{Code: wire.AckUnsupported, Detail: "no opaque coordinator configured"}
-	}
-	start := time.Now()
-	s.opaqueMu.Lock()
-	err := s.cfg.Opaque.Absorb(payload)
-	if err == nil {
-		s.opaqueAbsorbed++
-		s.opaqueBytes += int64(len(payload))
-	}
-	s.opaqueMu.Unlock()
-	if err != nil {
-		switch {
-		case errors.Is(err, core.ErrMismatch):
-			return wire.Ack{Code: wire.AckSeedMismatch, Detail: err.Error()}
-		case errors.Is(err, core.ErrCorrupt):
-			return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
-		default:
-			return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
-		}
+		return wire.Ack{Code: wire.AckError, Detail: merr.Error()}
 	}
 	s.recordMerge(time.Since(start), int64(len(payload)))
 	return wire.Ack{Code: wire.AckOK}
@@ -474,8 +458,11 @@ func (s *Server) serveQuery(conn net.Conn, payload []byte) {
 	}
 }
 
-// answer evaluates q against the matching merge group, or against the
-// opaque coordinator when no sketch groups exist.
+// answer evaluates q against the matching merge group, subject to the
+// group kind's capabilities: every kind answers QueryDistinct;
+// QuerySum answers NaN for kinds without sum support (matching the
+// in-process simulator's convention); predicate queries are refused
+// for kinds that cannot evaluate them.
 func (s *Server) answer(q wire.Query) (float64, error) {
 	pred, err := q.Predicate()
 	if err != nil {
@@ -485,75 +472,70 @@ func (s *Server) answer(q wire.Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if g == nil {
-		// Opaque mode: the protocol coordinator answers the two
-		// estimates every distsim.Coordinator supports.
-		s.opaqueMu.Lock()
-		defer s.opaqueMu.Unlock()
-		switch q.Kind {
-		case wire.QueryDistinct:
-			return s.cfg.Opaque.EstimateDistinct(), nil
-		case wire.QuerySum:
-			return s.cfg.Opaque.EstimateSum(), nil
-		default:
-			return 0, fmt.Errorf("server: %s queries unsupported by the opaque coordinator", q.Kind)
-		}
-	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	switch q.Kind {
 	case wire.QueryDistinct:
-		return g.est.EstimateDistinct(), nil
+		return g.sk.Estimate(), nil
 	case wire.QuerySum:
-		return g.est.EstimateSum(), nil
+		if sum, ok := g.sk.(sketch.Summer); ok {
+			return sum.EstimateSum(), nil
+		}
+		return math.NaN(), nil
 	case wire.QueryCountWhere:
-		return g.est.EstimateCountWhere(pred), nil
+		if pe, ok := g.sk.(sketch.PredicateEstimator); ok {
+			return pe.EstimateCountWhere(pred), nil
+		}
+		return 0, fmt.Errorf("server: %s queries unsupported by sketch kind %q", q.Kind, g.name)
 	case wire.QuerySumWhere:
-		return g.est.EstimateSumWhere(pred), nil
+		if pe, ok := g.sk.(sketch.PredicateEstimator); ok {
+			return pe.EstimateSumWhere(pred), nil
+		}
+		return 0, fmt.Errorf("server: %s queries unsupported by sketch kind %q", q.Kind, g.name)
 	default:
 		return 0, fmt.Errorf("server: unknown query kind %d", q.Kind)
 	}
 }
 
-// selectGroup resolves the query's target group. A nil group with nil
-// error means "answer from the opaque coordinator".
+// selectGroup resolves the query's target group: the groups matching
+// the query's seed (when HasSeed) and sketch kind (when HasKind),
+// which must narrow to exactly one.
 func (s *Server) selectGroup(q wire.Query) (*group, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if q.HasSeed {
-		var found *group
-		for cfg, g := range s.groups {
-			if cfg.Seed == q.Seed {
-				if found != nil {
-					return nil, fmt.Errorf("server: seed %d matches several groups (differing capacity/copies); pin a full config", q.Seed)
-				}
-				found = g
-			}
+	var found *group
+	matches := 0
+	for _, g := range s.groups {
+		if q.HasSeed && g.seed != q.Seed {
+			continue
 		}
-		if found == nil {
-			return nil, fmt.Errorf("server: no sketches absorbed for seed %d", q.Seed)
+		if q.HasKind && g.kind != sketch.Kind(q.SketchKind) {
+			continue
 		}
+		found = g
+		matches++
+	}
+	switch {
+	case matches == 1:
 		return found, nil
-	}
-	switch len(s.groups) {
-	case 0:
-		if s.cfg.Opaque != nil {
-			return nil, nil
-		}
+	case len(s.groups) == 0:
 		return nil, errors.New("server: no sketches absorbed yet")
-	case 1:
-		for _, g := range s.groups {
-			return g, nil
-		}
+	case matches == 0:
+		return nil, fmt.Errorf("server: no group matches the query (seed filter: %v, kind filter: %v)", q.HasSeed, q.HasKind)
+	case q.HasSeed && !q.HasKind:
+		return nil, fmt.Errorf("server: seed %d matches several groups (differing kind or dimensions); name a sketch kind", q.Seed)
+	case !q.HasSeed && !q.HasKind:
+		return nil, fmt.Errorf("server: %d sketch groups in play; query must name a seed or kind", len(s.groups))
+	default:
+		return nil, fmt.Errorf("server: query matches %d groups; narrow the seed/kind filters", matches)
 	}
-	return nil, fmt.Errorf("server: %d distinct sketch configurations in play; query must name a seed", len(s.groups))
 }
 
-// SnapshotGroup returns the marshaled merged sketch for the group with
-// the given coordination seed — the exact bytes a site would have sent
-// had it observed the union itself. Tests use it to assert that
-// concurrent absorption is bit-identical to serial merging; operators
-// can use it to checkpoint a group.
+// SnapshotGroup returns the marshaled merged sketch payload for the
+// group with the given coordination seed — the exact bytes a site
+// would have sent (sans envelope) had it observed the union itself.
+// Tests use it to assert that concurrent absorption is bit-identical
+// to serial merging; operators can use it to checkpoint a group.
 func (s *Server) SnapshotGroup(seed uint64) ([]byte, error) {
 	g, err := s.selectGroup(wire.Query{HasSeed: true, Seed: seed})
 	if err != nil {
@@ -561,5 +543,5 @@ func (s *Server) SnapshotGroup(seed uint64) ([]byte, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.est.MarshalBinary()
+	return g.sk.MarshalBinary()
 }

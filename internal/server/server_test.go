@@ -16,8 +16,13 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/hashing"
 	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/sketch/kmv"
 	"repro/internal/stream"
 	"repro/internal/wire"
+
+	// Register every sketch kind for the cross-kind tests.
+	_ "repro/internal/sketch/kinds"
 )
 
 // startServer runs srv on an ephemeral loopback listener and returns
@@ -60,14 +65,14 @@ func overlapSources(t int, seed uint64) []stream.Source {
 }
 
 // siteMessages builds the per-site sketch messages the paper's parties
-// would send: one coordinated estimator per source, serialized.
+// would send: one coordinated estimator per source, enveloped.
 func siteMessages(t *testing.T, cfg core.EstimatorConfig, srcs []stream.Source) [][]byte {
 	t.Helper()
 	msgs := make([][]byte, len(srcs))
 	for i, src := range srcs {
 		est := core.NewEstimator(cfg)
 		stream.Feed(src, func(it stream.Item) { est.ProcessWeighted(it.Label, it.Value) })
-		msg, err := est.MarshalBinary()
+		msg, err := sketch.Envelope(est)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,14 +147,21 @@ func TestLoopbackMatchesDistsim(t *testing.T) {
 		t.Fatalf("%d groups, want 1", len(st.Groups))
 	}
 	g := st.Groups[0]
-	if g.Seed != cfg.Seed || g.Capacity != cfg.Capacity || g.Copies != cfg.Copies {
-		t.Errorf("group config %+v", g)
+	if g.Kind != "gt" || g.Seed != cfg.Seed || g.Digest == "" {
+		t.Errorf("group identity %+v", g)
 	}
 	if g.SketchesAbsorbed != int64(len(srcs)) || g.SketchBytes != want.Stats.BytesSent {
 		t.Errorf("group accounting %+v", g)
 	}
-	if g.Epsilon <= 0 || g.Epsilon > 1 || g.Delta <= 0 || g.Delta >= 1 {
-		t.Errorf("group (ε,δ) = (%v, %v)", g.Epsilon, g.Delta)
+	// Params carries the kind's self-description (JSON numbers decode
+	// as float64).
+	if g.Params["capacity"] != float64(cfg.Capacity) || g.Params["copies"] != float64(cfg.Copies) {
+		t.Errorf("group params %+v", g.Params)
+	}
+	eps, _ := g.Params["epsilon"].(float64)
+	delta, _ := g.Params["delta"].(float64)
+	if eps <= 0 || eps > 1 || delta <= 0 || delta >= 1 {
+		t.Errorf("group (ε,δ) = (%v, %v)", eps, delta)
 	}
 	if g.DistinctEstimate != distinct {
 		t.Errorf("group estimate %.4f != query %.4f", g.DistinctEstimate, distinct)
@@ -167,21 +179,8 @@ func TestConcurrentAbsorbBitIdentical(t *testing.T) {
 	srcs := overlapSources(16, 9)
 	msgs := siteMessages(t, cfg, srcs)
 
-	// Serial reference: decode and merge in site order.
-	var ref core.Estimator
-	if err := ref.UnmarshalBinary(msgs[0]); err != nil {
-		t.Fatal(err)
-	}
-	for _, msg := range msgs[1:] {
-		var e core.Estimator
-		if err := e.UnmarshalBinary(msg); err != nil {
-			t.Fatal(err)
-		}
-		if err := ref.Merge(&e); err != nil {
-			t.Fatal(err)
-		}
-	}
-	refBytes, err := ref.MarshalBinary()
+	// Serial reference: open and merge in site order.
+	refBytes, err := serialMerge(msgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +289,7 @@ func TestClientRetriesDroppedConnection(t *testing.T) {
 	for x := uint64(0); x < 1000; x++ {
 		est.Process(x)
 	}
-	msg, err := est.MarshalBinary()
+	msg, err := sketch.Envelope(est)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +314,7 @@ func TestSeedMismatchTypedError(t *testing.T) {
 	mk := func(seed uint64) []byte {
 		est := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: seed})
 		est.Process(1)
-		msg, err := est.MarshalBinary()
+		msg, err := sketch.Envelope(est)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -430,7 +429,7 @@ func TestQueryErrors(t *testing.T) {
 	for _, seed := range []uint64{1, 2} {
 		est := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: seed})
 		est.Process(seed)
-		msg, _ := est.MarshalBinary()
+		msg, _ := sketch.Envelope(est)
 		if _, err := cl.Push(msg); err != nil {
 			t.Fatal(err)
 		}
@@ -464,7 +463,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	for x := uint64(0); x < 500; x++ {
 		est.Process(x)
 	}
-	msg, _ := est.MarshalBinary()
+	msg, _ := sketch.Envelope(est)
 	if _, err := testClient(ln.Addr().String()).Push(msg); err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +492,7 @@ func TestStatszHTTP(t *testing.T) {
 	addr := startServer(t, srv)
 	est := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: 6})
 	est.Process(123)
-	msg, _ := est.MarshalBinary()
+	msg, _ := sketch.Envelope(est)
 	if _, err := testClient(addr).Push(msg); err != nil {
 		t.Fatal(err)
 	}
@@ -518,11 +517,159 @@ func TestStatszHTTP(t *testing.T) {
 	}
 }
 
-func TestOpaqueUnsupportedWithoutCoordinator(t *testing.T) {
+// serialMerge opens the envelopes in order, merges them into the
+// first, and returns the canonical accumulated bytes — the reference
+// any concurrent absorb order must reproduce exactly.
+func serialMerge(msgs [][]byte) ([]byte, error) {
+	ref, err := sketch.Open(msgs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, msg := range msgs[1:] {
+		sk, err := sketch.Open(msg)
+		if err != nil {
+			return nil, err
+		}
+		if err := ref.Merge(sk); err != nil {
+			return nil, err
+		}
+	}
+	return ref.MarshalBinary()
+}
+
+// TestConcurrentAbsorbAllKinds extends the bit-identical guarantee to
+// every registered kind: concurrent absorbs of the same envelopes
+// must leave the group byte-for-byte equal to a serial in-order
+// merge, whatever the sketch's internals.
+func TestConcurrentAbsorbAllKinds(t *testing.T) {
+	for _, info := range sketch.Kinds() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			const sites = 6
+			msgs := make([][]byte, sites)
+			for i := 0; i < sites; i++ {
+				sk := info.New(0.2, 31)
+				for x := uint64(0); x < 1500; x++ {
+					sk.Process((x*uint64(i+1) + x) % 4000)
+				}
+				env, err := sketch.Envelope(sk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				msgs[i] = env
+			}
+			refBytes, err := serialMerge(msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := sketch.Open(msgs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			srv := server.New(server.Config{Workers: 4})
+			addr := startServer(t, srv)
+			var wg sync.WaitGroup
+			for _, msg := range msgs {
+				wg.Add(1)
+				go func(msg []byte) {
+					defer wg.Done()
+					if _, err := testClient(addr).Push(msg); err != nil {
+						t.Error(err)
+					}
+				}(msg)
+			}
+			wg.Wait()
+			got, err := srv.SnapshotGroup(ref.Seed())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(refBytes) {
+				t.Fatalf("concurrent absorb state differs from serial merge")
+			}
+		})
+	}
+}
+
+// TestCrossKindGroups: two kinds sharing a coordination seed must land
+// in separate merge groups; a seed-only query is then ambiguous, and
+// naming the kind resolves it.
+func TestCrossKindGroups(t *testing.T) {
+	const seed = 42
 	srv := server.New(server.Config{})
 	addr := startServer(t, srv)
-	_, err := testClient(addr).PushOpaque([]byte("anything"))
-	if !errors.Is(err, client.ErrRejected) {
-		t.Fatalf("err = %v, want ErrRejected", err)
+	cl := testClient(addr)
+
+	gt := core.NewEstimator(core.EstimatorConfig{Capacity: 64, Copies: 3, Seed: seed})
+	km := kmv.New(64, seed)
+	for x := uint64(0); x < 2000; x++ {
+		gt.Process(x)
+		km.Process(x)
+	}
+	for _, sk := range []sketch.Sketch{gt, km} {
+		env, err := sketch.Envelope(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Push(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := srv.Stats()
+	if len(st.Groups) != 2 {
+		t.Fatalf("%d groups, want 2", len(st.Groups))
+	}
+	if _, err := cl.DistinctCount(seed); err == nil {
+		t.Error("seed-only query across two kinds succeeded; want ambiguity error")
+	}
+	for _, k := range []sketch.Kind{sketch.KindGT, sketch.KindKMV} {
+		est, err := cl.Query(wire.Query{
+			Kind:    wire.QueryDistinct,
+			HasSeed: true, Seed: seed,
+			HasKind: true, SketchKind: uint8(k),
+		})
+		if err != nil {
+			t.Fatalf("kind %v query: %v", k, err)
+		}
+		if est <= 0 {
+			t.Errorf("kind %v estimate %v", k, est)
+		}
+	}
+}
+
+// TestKindMismatchTypedError: a coordinator pinned to one kind must
+// answer other kinds with the typed refusal, which the client treats
+// as permanent — exactly one attempt, no backoff spin.
+func TestKindMismatchTypedError(t *testing.T) {
+	srv := server.New(server.Config{RequireKind: "gt"})
+	addr := startServer(t, srv)
+
+	km := kmv.New(32, 7)
+	km.Process(1)
+	env, err := sketch.Envelope(km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	attempts, err := testClient(addr).Push(env)
+	if !errors.Is(err, client.ErrKindMismatch) {
+		t.Fatalf("err = %v, want ErrKindMismatch", err)
+	}
+	if attempts != 1 {
+		t.Errorf("kind mismatch retried %d times; must be permanent", attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("kind mismatch took %v; must fail fast, not hang", elapsed)
+	}
+
+	gt := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: 7})
+	gt.Process(1)
+	env, err = sketch.Envelope(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testClient(addr).Push(env); err != nil {
+		t.Errorf("matching kind rejected: %v", err)
 	}
 }

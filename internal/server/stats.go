@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net"
 	"net/http"
@@ -9,7 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/sketch"
 	"repro/internal/wire"
 )
 
@@ -47,24 +48,25 @@ func (s *Server) recordMerge(d time.Duration, payloadBytes int64) {
 
 // GroupStats describes one merge group in a Stats snapshot.
 type GroupStats struct {
-	// Seed is the group's coordination seed.
+	// Kind is the registered sketch-kind name ("gt", "kmv", ...).
+	Kind string `json:"kind"`
+	// Seed is the group's coordination seed (0 for seedless kinds).
 	Seed uint64 `json:"seed"`
-	// Capacity and Copies are the sketch dimensions.
-	Capacity int `json:"capacity"`
-	Copies   int `json:"copies"`
-	// Family names the hash family.
-	Family string `json:"family"`
-	// Epsilon and Delta are the accuracy targets the dimensions imply
-	// (per CapacityForEpsilon / CopiesForDelta).
-	Epsilon float64 `json:"epsilon"`
-	Delta   float64 `json:"delta"`
+	// Digest is the group's config digest in hex; sketches merge into
+	// the same group exactly when kind and digest both match.
+	Digest string `json:"digest"`
 	// SketchesAbsorbed counts site messages merged into this group.
 	SketchesAbsorbed int64 `json:"sketches_absorbed"`
 	// SketchBytes totals their payload bytes — the paper's
 	// communication cost, as received.
 	SketchBytes int64 `json:"sketch_bytes"`
-	// DistinctEstimate is the group's current union F0 estimate.
+	// DistinctEstimate is the group's current union F0 estimate. It is
+	// zero when the kind cannot answer (e.g. a windowed sketch whose
+	// retained horizon no longer covers the stream start).
 	DistinctEstimate float64 `json:"distinct_estimate"`
+	// Params holds kind-specific dimensions and accuracy targets, for
+	// kinds that describe themselves (sketch.Describer).
+	Params map[string]any `json:"params,omitempty"`
 }
 
 // Stats is the introspection snapshot served at /statsz and over
@@ -82,22 +84,12 @@ type Stats struct {
 	MergeNanosTotal  int64        `json:"merge_nanos_total"`
 	MergeNanosMax    int64        `json:"merge_nanos_max"`
 	MergeNanosMean   float64      `json:"merge_nanos_mean"`
-	OpaqueAbsorbed   int64        `json:"opaque_absorbed,omitempty"`
-	OpaqueBytes      int64        `json:"opaque_bytes,omitempty"`
 	Groups           []GroupStats `json:"groups"`
 }
 
-// deltaForCopies inverts core.CopiesForDelta: the failure probability
-// a median over r copies targets (r = 1 + 2·log2(1/δ) rounded up).
-func deltaForCopies(r int) float64 {
-	if r <= 1 {
-		return 0.5
-	}
-	return math.Pow(0.5, float64((r-1)/2))
-}
-
 // Stats returns a consistent snapshot of the server's counters and
-// per-group state. Groups are ordered by seed for stable output.
+// per-group state. Groups are ordered by kind, seed, then digest for
+// stable output.
 func (s *Server) Stats() Stats {
 	st := Stats{
 		ConnsAccepted:    s.stats.connsAccepted.Load(),
@@ -116,41 +108,41 @@ func (s *Server) Stats() Stats {
 		st.MergeNanosMean = float64(st.MergeNanosTotal) / float64(st.Merges)
 	}
 
-	s.opaqueMu.Lock()
-	st.OpaqueAbsorbed = s.opaqueAbsorbed
-	st.OpaqueBytes = s.opaqueBytes
-	s.opaqueMu.Unlock()
-
 	s.mu.Lock()
-	groups := make(map[core.EstimatorConfig]*group, len(s.groups))
-	for cfg, g := range s.groups {
-		groups[cfg] = g
+	groups := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
 	}
 	s.mu.Unlock()
-	for cfg, g := range groups {
-		g.mu.Lock()
+	for _, g := range groups {
 		gs := GroupStats{
-			Seed:             cfg.Seed,
-			Capacity:         cfg.Capacity,
-			Copies:           cfg.Copies,
-			Family:           cfg.Family.String(),
-			Epsilon:          core.EpsilonForCapacity(cfg.Capacity),
-			Delta:            deltaForCopies(cfg.Copies),
-			SketchesAbsorbed: g.absorbed,
-			SketchBytes:      g.bytes,
+			Kind:   g.name,
+			Seed:   g.seed,
+			Digest: fmt.Sprintf("%016x", g.digest),
 		}
-		if g.est != nil {
-			gs.DistinctEstimate = g.est.EstimateDistinct()
+		g.mu.Lock()
+		gs.SketchesAbsorbed = g.absorbed
+		gs.SketchBytes = g.bytes
+		if g.sk != nil {
+			if v := g.sk.Estimate(); !math.IsNaN(v) && !math.IsInf(v, 0) {
+				gs.DistinctEstimate = v
+			}
+			if d, ok := g.sk.(sketch.Describer); ok {
+				gs.Params = d.Describe()
+			}
 		}
 		g.mu.Unlock()
 		st.Groups = append(st.Groups, gs)
 	}
 	sort.Slice(st.Groups, func(i, j int) bool {
 		a, b := st.Groups[i], st.Groups[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
 		if a.Seed != b.Seed {
 			return a.Seed < b.Seed
 		}
-		return a.Capacity < b.Capacity
+		return a.Digest < b.Digest
 	})
 	return st
 }

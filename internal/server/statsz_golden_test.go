@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/sketch"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
@@ -60,7 +61,7 @@ func TestStatszGoldenShape(t *testing.T) {
 	for x := uint64(0); x < 100; x++ {
 		est.Process(x)
 	}
-	msg, err := est.MarshalBinary()
+	msg, err := sketch.Envelope(est)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,16 +16,16 @@
 package ams
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrMismatch is returned when merging sketches with different
 // configurations.
-var ErrMismatch = errors.New("ams: cannot merge sketches with different configurations")
+var ErrMismatch = fmt.Errorf("ams: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 
 // Sketch is a multi-copy AMS F0 estimator. Construct with New.
 type Sketch struct {
@@ -81,7 +81,11 @@ func (s *Sketch) Estimate() float64 {
 
 // Merge folds other into s by per-copy maximum. Both sketches must
 // share copy count and seed.
-func (s *Sketch) Merge(other *Sketch) error {
+func (s *Sketch) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *ams.Sketch", ErrMismatch, o)
+	}
 	if other == nil || len(s.maxLvl) != len(other.maxLvl) || s.seed != other.seed {
 		return ErrMismatch
 	}

@@ -2,12 +2,13 @@ package ams
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+
+	"repro/internal/sketch"
 )
 
 // ErrCorrupt is returned when decoding a malformed sketch.
-var ErrCorrupt = errors.New("ams: corrupt sketch encoding")
+var ErrCorrupt = fmt.Errorf("ams: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 
 // Wire format: magic "AM1", 8-byte seed, uvarint copies, one level
 // byte per copy (0xFF encodes "empty").

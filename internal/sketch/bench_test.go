@@ -1,0 +1,67 @@
+package sketch_test
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/sketch"
+
+	_ "repro/internal/sketch/kinds"
+)
+
+// benchSketch builds a populated sketch of the given kind so the
+// envelope benchmarks measure realistic payload sizes, not empty
+// headers.
+func benchSketch(b *testing.B, info sketch.KindInfo) sketch.Sketch {
+	b.Helper()
+	s := info.New(0.1, 1)
+	r := hashing.NewXoshiro256(7)
+	for i := 0; i < 4096; i++ {
+		s.Process(r.Uint64n(1 << 20))
+	}
+	return s
+}
+
+// BenchmarkEnvelopeEncode measures AppendEnvelope per registered kind:
+// the marshal-plus-header cost a site pays for every message it ships.
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	for _, info := range sketch.Kinds() {
+		b.Run(info.Name, func(b *testing.B) {
+			s := benchSketch(b, info)
+			env, err := sketch.Envelope(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 0, len(env))
+			b.SetBytes(int64(len(env)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = buf[:0]
+				if buf, err = sketch.AppendEnvelope(buf, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnvelopeOpen measures Open per registered kind: the
+// validate-route-decode-crosscheck cost the coordinator pays for every
+// envelope it absorbs.
+func BenchmarkEnvelopeOpen(b *testing.B) {
+	for _, info := range sketch.Kinds() {
+		b.Run(info.Name, func(b *testing.B) {
+			env, err := sketch.Envelope(benchSketch(b, info))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(env)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sketch.Open(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,15 +8,15 @@
 package bjkst
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrMismatch is returned when merging sketches with different
 // configurations.
-var ErrMismatch = errors.New("bjkst: cannot merge sketches with different configurations")
+var ErrMismatch = fmt.Errorf("bjkst: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 
 // Sketch is a BJKST distinct-count sketch. Construct with New.
 type Sketch struct {
@@ -101,7 +101,11 @@ func (s *Sketch) Estimate() float64 {
 
 // Merge folds other into s. Both sketches must share capacity and
 // seed.
-func (s *Sketch) Merge(other *Sketch) error {
+func (s *Sketch) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *bjkst.Sketch", ErrMismatch, o)
+	}
 	if other == nil || s.capacity != other.capacity || s.seed != other.seed {
 		return ErrMismatch
 	}

@@ -2,15 +2,15 @@ package bjkst
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrCorrupt is returned when decoding a malformed sketch.
-var ErrCorrupt = errors.New("bjkst: corrupt sketch encoding")
+var ErrCorrupt = fmt.Errorf("bjkst: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 
 // Wire format: magic "BJ1", 8-byte seed, uvarint capacity, uvarint
 // level z, uvarint bucket count, then (fingerprint uint32 LE, level

@@ -1,0 +1,43 @@
+package sketch_test
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/sketch/sketchtest"
+
+	// Register every kind: the suite must cover the full registry.
+	_ "repro/internal/sketch/kinds"
+)
+
+// TestConformance holds every registered kind to the mergeable-sketch
+// contract. It also pins the expected registry contents: a kind
+// vanishing from (or appearing in) the registry is a deliberate act,
+// recorded here.
+func TestConformance(t *testing.T) {
+	want := map[string]sketch.Kind{
+		"gt":     sketch.KindGT,
+		"fm":     sketch.KindFM,
+		"ams":    sketch.KindAMS,
+		"bjkst":  sketch.KindBJKST,
+		"kmv":    sketch.KindKMV,
+		"hll":    sketch.KindLogLog,
+		"window": sketch.KindWindow,
+		"exact":  sketch.KindExact,
+	}
+	kinds := sketch.Kinds()
+	if len(kinds) != len(want) {
+		t.Errorf("registry has %d kinds, want %d", len(kinds), len(want))
+	}
+	for _, info := range kinds {
+		if want[info.Name] != info.Kind {
+			t.Errorf("kind %q registered as tag %d, want %d", info.Name, info.Kind, want[info.Name])
+		}
+		delete(want, info.Name)
+		info := info
+		t.Run(info.Name, func(t *testing.T) { sketchtest.Conform(t, info) })
+	}
+	for name := range want {
+		t.Errorf("kind %q missing from registry", name)
+	}
+}

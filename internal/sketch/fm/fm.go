@@ -13,12 +13,12 @@
 package fm
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/bits"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // phi is the Flajolet–Martin correction constant.
@@ -26,7 +26,7 @@ const phi = 0.77351
 
 // ErrMismatch is returned when merging sketches with different
 // configurations.
-var ErrMismatch = errors.New("fm: cannot merge sketches with different configurations")
+var ErrMismatch = fmt.Errorf("fm: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 
 // Sketch is a PCSA distinct-count sketch. Construct with New or
 // NewWeak.
@@ -102,7 +102,11 @@ func (s *Sketch) Estimate() float64 {
 
 // Merge ORs other into s; afterwards s estimates the union of the two
 // streams. Both sketches must share numMaps and seed.
-func (s *Sketch) Merge(other *Sketch) error {
+func (s *Sketch) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *fm.Sketch", ErrMismatch, o)
+	}
 	if other == nil || s.numMaps != other.numMaps || s.seed != other.seed || s.weak != other.weak {
 		return ErrMismatch
 	}

@@ -2,12 +2,13 @@ package fm
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+
+	"repro/internal/sketch"
 )
 
 // ErrCorrupt is returned when decoding a malformed sketch.
-var ErrCorrupt = errors.New("fm: corrupt sketch encoding")
+var ErrCorrupt = fmt.Errorf("fm: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 
 // Wire format: magic "FM1", weak flag byte, 8-byte seed, uvarint
 // numMaps, then numMaps 8-byte bitmaps.

@@ -1,0 +1,18 @@
+// Package kinds registers every sketch kind the repository ships by
+// blank-importing the implementing packages. Import it (blank) from
+// any binary or test that must decode arbitrary envelopes — the
+// daemon, the CLIs, the conformance suite — without hand-picking
+// backends. Packages that already import a specific kind get its
+// registration for free from that import.
+package kinds
+
+import (
+	_ "repro/internal/core"
+	_ "repro/internal/exact"
+	_ "repro/internal/sketch/ams"
+	_ "repro/internal/sketch/bjkst"
+	_ "repro/internal/sketch/fm"
+	_ "repro/internal/sketch/kmv"
+	_ "repro/internal/sketch/ll"
+	_ "repro/internal/window"
+)

@@ -12,15 +12,15 @@
 package kmv
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrMismatch is returned when merging sketches with different
 // configurations.
-var ErrMismatch = errors.New("kmv: cannot merge sketches with different configurations")
+var ErrMismatch = fmt.Errorf("kmv: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 
 // Sketch is a bottom-k distinct-count sketch. Construct with New.
 type Sketch struct {
@@ -124,7 +124,11 @@ func (s *Sketch) Estimate() float64 {
 
 // Merge folds other into s, keeping the bottom-k of the union. Both
 // sketches must share k and seed.
-func (s *Sketch) Merge(other *Sketch) error {
+func (s *Sketch) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *kmv.Sketch", ErrMismatch, o)
+	}
 	if other == nil || s.k != other.k || s.seed != other.seed {
 		return ErrMismatch
 	}

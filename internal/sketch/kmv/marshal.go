@@ -2,15 +2,15 @@ package kmv
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrCorrupt is returned when decoding a malformed sketch.
-var ErrCorrupt = errors.New("kmv: corrupt sketch encoding")
+var ErrCorrupt = fmt.Errorf("kmv: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 
 // Wire format: magic "KV1", 8-byte seed, uvarint k, uvarint retained
 // count, then the retained hash values sorted ascending, delta-encoded

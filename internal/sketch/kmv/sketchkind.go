@@ -1,0 +1,32 @@
+package kmv
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register(sketch.KindInfo{
+		Kind:    sketch.KindKMV,
+		Name:    "kmv",
+		Version: 1,
+		New: func(eps float64, seed uint64) sketch.Sketch {
+			return New(KForEpsilon(eps), seed)
+		},
+		Decode: func(payload []byte) (sketch.Sketch, error) {
+			var s Sketch
+			if err := s.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &s, nil
+		},
+	})
+}
+
+// Kind implements sketch.Sketch.
+func (s *Sketch) Kind() sketch.Kind { return sketch.KindKMV }
+
+// Seed implements sketch.Sketch.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+// Digest implements sketch.Sketch.
+func (s *Sketch) Digest() uint64 {
+	return sketch.ConfigDigest(sketch.KindKMV, uint64(s.k), s.seed)
+}

@@ -11,16 +11,16 @@
 package ll
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrMismatch is returned when merging sketches with different
 // configurations.
-var ErrMismatch = errors.New("ll: cannot merge sketches with different configurations")
+var ErrMismatch = fmt.Errorf("ll: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 
 // Sketch is an HLL-style distinct count sketch. Construct with New or
 // NewWeak.
@@ -115,7 +115,11 @@ func alpha(m int) float64 {
 
 // Merge folds other into s by per-register maximum. Both sketches must
 // share register count and seed.
-func (s *Sketch) Merge(other *Sketch) error {
+func (s *Sketch) Merge(o sketch.Sketch) error {
+	other, ok := o.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %T into *ll.Sketch", ErrMismatch, o)
+	}
 	if other == nil || s.numRegs != other.numRegs || s.seed != other.seed || s.weak != other.weak {
 		return ErrMismatch
 	}

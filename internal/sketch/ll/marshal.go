@@ -2,12 +2,13 @@ package ll
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+
+	"repro/internal/sketch"
 )
 
 // ErrCorrupt is returned when decoding a malformed sketch.
-var ErrCorrupt = errors.New("ll: corrupt sketch encoding")
+var ErrCorrupt = fmt.Errorf("ll: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 
 // Wire format: magic "LL1", weak flag byte, 8-byte seed, uvarint
 // register count, then one byte per register.

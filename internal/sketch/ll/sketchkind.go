@@ -1,0 +1,36 @@
+package ll
+
+import "repro/internal/sketch"
+
+func init() {
+	sketch.Register(sketch.KindInfo{
+		Kind:    sketch.KindLogLog,
+		Name:    "hll",
+		Version: 1,
+		New: func(eps float64, seed uint64) sketch.Sketch {
+			return New(NumRegsForEpsilon(eps), seed)
+		},
+		Decode: func(payload []byte) (sketch.Sketch, error) {
+			var s Sketch
+			if err := s.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &s, nil
+		},
+	})
+}
+
+// Kind implements sketch.Sketch.
+func (s *Sketch) Kind() sketch.Kind { return sketch.KindLogLog }
+
+// Seed implements sketch.Sketch.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+// Digest implements sketch.Sketch.
+func (s *Sketch) Digest() uint64 {
+	var weak uint64
+	if s.weak {
+		weak = 1
+	}
+	return sketch.ConfigDigest(sketch.KindLogLog, uint64(s.numRegs), s.seed, weak)
+}

@@ -1,90 +1,94 @@
-// Package sketchfuzz_test cross-checks that every baseline sketch
-// decoder survives arbitrary input without panicking — the property a
-// coordinator needs when absorbing messages from untrusted sites.
-package sketchfuzz_test
+// Decoder-robustness suite for the registry: every registered kind's
+// decoder — reached the same way the coordinator reaches it, through
+// sketch.Open — must survive arbitrary and corrupted envelopes
+// without panicking. The table of per-type encoders the pre-registry
+// version of this file hand-maintained is gone: iterating
+// sketch.Kinds() means a newly registered kind is fuzzed with no test
+// edit at all.
+package sketch_test
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/hashing"
-	"repro/internal/sketch/ams"
-	"repro/internal/sketch/bjkst"
-	"repro/internal/sketch/fm"
-	"repro/internal/sketch/kmv"
-	"repro/internal/sketch/ll"
+	"repro/internal/sketch"
+
+	// Register every kind so the suite covers the full registry.
+	_ "repro/internal/sketch/kinds"
 )
 
-type decoder interface {
-	UnmarshalBinary([]byte) error
+// seedEnvelope builds a valid, populated envelope for the kind.
+func seedEnvelope(tb testing.TB, info sketch.KindInfo) []byte {
+	tb.Helper()
+	sk := info.New(0.25, 1)
+	for x := uint64(0); x < 1000; x++ {
+		sk.Process(x)
+	}
+	env, err := sketch.Envelope(sk)
+	if err != nil {
+		tb.Fatalf("%s: envelope: %v", info.Name, err)
+	}
+	return env
 }
 
 func TestDecodersNeverPanic(t *testing.T) {
-	encoders := map[string]func() ([]byte, func() decoder){
-		"fm": func() ([]byte, func() decoder) {
-			s := fm.New(32, 1)
-			for x := uint64(0); x < 1000; x++ {
-				s.Process(x)
-			}
-			b, _ := s.MarshalBinary()
-			return b, func() decoder { return &fm.Sketch{} }
-		},
-		"ams": func() ([]byte, func() decoder) {
-			s := ams.New(5, 1)
-			for x := uint64(0); x < 1000; x++ {
-				s.Process(x)
-			}
-			b, _ := s.MarshalBinary()
-			return b, func() decoder { return &ams.Sketch{} }
-		},
-		"kmv": func() ([]byte, func() decoder) {
-			s := kmv.New(32, 1)
-			for x := uint64(0); x < 1000; x++ {
-				s.Process(x)
-			}
-			b, _ := s.MarshalBinary()
-			return b, func() decoder { return &kmv.Sketch{} }
-		},
-		"bjkst": func() ([]byte, func() decoder) {
-			s := bjkst.New(32, 1)
-			for x := uint64(0); x < 1000; x++ {
-				s.Process(x)
-			}
-			b, _ := s.MarshalBinary()
-			return b, func() decoder { return &bjkst.Sketch{} }
-		},
-		"ll": func() ([]byte, func() decoder) {
-			s := ll.New(32, 1)
-			for x := uint64(0); x < 1000; x++ {
-				s.Process(x)
-			}
-			b, _ := s.MarshalBinary()
-			return b, func() decoder { return &ll.Sketch{} }
-		},
-	}
-	r := hashing.NewXoshiro256(3)
-	for name, mk := range encoders {
-		enc, newDec := mk()
-		for trial := 0; trial < 2000; trial++ {
-			var data []byte
-			if trial%2 == 0 {
-				data = make([]byte, r.Intn(120))
-				for i := range data {
-					data[i] = byte(r.Uint64())
-				}
-			} else {
-				data = append([]byte(nil), enc...)
-				for k := 0; k < 1+r.Intn(4); k++ {
-					data[r.Intn(len(data))] = byte(r.Uint64())
-				}
-			}
-			func() {
-				defer func() {
-					if p := recover(); p != nil {
-						t.Fatalf("%s: decoder panicked on trial %d: %v", name, trial, p)
+	for _, info := range sketch.Kinds() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			enc := seedEnvelope(t, info)
+			r := hashing.NewXoshiro256(3)
+			for trial := 0; trial < 2000; trial++ {
+				var data []byte
+				if trial%2 == 0 {
+					data = make([]byte, r.Intn(140))
+					for i := range data {
+						data[i] = byte(r.Uint64())
 					}
+				} else {
+					data = append([]byte(nil), enc...)
+					for k := 0; k < 1+r.Intn(4); k++ {
+						data[r.Intn(len(data))] = byte(r.Uint64())
+					}
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							t.Fatalf("Open panicked on trial %d: %v", trial, p)
+						}
+					}()
+					_, _ = sketch.Open(data)
 				}()
-				_ = newDec().UnmarshalBinary(data)
-			}()
-		}
+			}
+		})
 	}
+}
+
+// FuzzSketchOpen drives Open with arbitrary bytes: it must never
+// panic, and anything it accepts must re-envelope to bytes Open
+// accepts again with the same kind and digest.
+func FuzzSketchOpen(f *testing.F) {
+	for _, info := range sketch.Kinds() {
+		f.Add(seedEnvelope(f, info))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{sketch.EnvelopeMagic0, sketch.EnvelopeMagic1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := sketch.Open(data)
+		if err != nil {
+			return
+		}
+		env, err := sketch.Envelope(sk)
+		if err != nil {
+			t.Fatalf("accepted sketch does not re-envelope: %v", err)
+		}
+		// The envelope header is canonical, so the re-encoded header
+		// must equal the input's.
+		if !bytes.Equal(env[:sketch.EnvelopeHeaderSize], data[:sketch.EnvelopeHeaderSize]) {
+			t.Fatalf("re-enveloped header differs from input header")
+		}
+		if _, err := sketch.Open(env); err != nil {
+			t.Fatalf("re-enveloped sketch rejected: %v", err)
+		}
+	})
 }

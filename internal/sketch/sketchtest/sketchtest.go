@@ -1,0 +1,176 @@
+// Package sketchtest is the conformance suite every registered sketch
+// kind must pass: the union algebra (merge commutativity,
+// associativity, idempotence) verified on canonical bytes, envelope
+// and encoding round-trips, and refusal of mismatched-configuration
+// and cross-kind merges. Kind packages run it from their own tests;
+// internal/sketch/conformance_test.go runs it over the whole registry
+// so a kind cannot register without being held to the contract.
+package sketchtest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// conformEps is the accuracy target conformance sketches are built
+// with — loose enough that every kind stays small and fast.
+const conformEps = 0.25
+
+// build returns a fresh sketch of the kind holding labels [lo, hi).
+func build(tb testing.TB, info sketch.KindInfo, seed, lo, hi uint64) sketch.Sketch {
+	tb.Helper()
+	sk := info.New(conformEps, seed)
+	for x := lo; x < hi; x++ {
+		sk.Process(x)
+	}
+	return sk
+}
+
+// canon returns the sketch's canonical encoding.
+func canon(tb testing.TB, sk sketch.Sketch) []byte {
+	tb.Helper()
+	b, err := sk.MarshalBinary()
+	if err != nil {
+		tb.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// clone decodes an independent copy through the registry — the same
+// path a coordinator takes — so merge tests never alias state.
+func clone(tb testing.TB, sk sketch.Sketch) sketch.Sketch {
+	tb.Helper()
+	env, err := sketch.Envelope(sk)
+	if err != nil {
+		tb.Fatalf("envelope: %v", err)
+	}
+	out, err := sketch.Open(env)
+	if err != nil {
+		tb.Fatalf("open: %v", err)
+	}
+	return out
+}
+
+// merged returns canon(clone(a) ⋃ clone(b)).
+func merged(tb testing.TB, a, b sketch.Sketch) []byte {
+	tb.Helper()
+	dst := clone(tb, a)
+	if err := dst.Merge(clone(tb, b)); err != nil {
+		tb.Fatalf("merge: %v", err)
+	}
+	return canon(tb, dst)
+}
+
+// Conform runs the full contract for one registered kind.
+func Conform(t *testing.T, info sketch.KindInfo) {
+	a := build(t, info, 1, 0, 1000)
+	b := build(t, info, 1, 500, 1500)
+	c := build(t, info, 1, 1000, 2000)
+
+	t.Run("identity", func(t *testing.T) {
+		if a.Kind() != info.Kind {
+			t.Errorf("Kind() = %v, want %v", a.Kind(), info.Kind)
+		}
+		if a.Digest() != b.Digest() {
+			t.Errorf("same-config sketches disagree on digest")
+		}
+	})
+
+	t.Run("round-trip", func(t *testing.T) {
+		enc := canon(t, a)
+		dec, err := info.Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(canon(t, dec), enc) {
+			t.Errorf("decode→marshal is not the identity")
+		}
+		if dec.Kind() != a.Kind() || dec.Seed() != a.Seed() || dec.Digest() != a.Digest() {
+			t.Errorf("round-trip changed identity: kind %v/%v seed %d/%d digest %x/%x",
+				dec.Kind(), a.Kind(), dec.Seed(), a.Seed(), dec.Digest(), a.Digest())
+		}
+	})
+
+	t.Run("envelope-round-trip", func(t *testing.T) {
+		env, err := sketch.Envelope(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, ok := sketch.PeekKind(env); !ok || k != info.Kind {
+			t.Errorf("PeekKind = (%v, %v), want (%v, true)", k, ok, info.Kind)
+		}
+		dec, err := sketch.Open(env)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if !bytes.Equal(canon(t, dec), canon(t, a)) {
+			t.Errorf("envelope round-trip changed the sketch")
+		}
+	})
+
+	t.Run("merge-commutative", func(t *testing.T) {
+		if !bytes.Equal(merged(t, a, b), merged(t, b, a)) {
+			t.Errorf("a⋃b != b⋃a on canonical bytes")
+		}
+	})
+
+	t.Run("merge-associative", func(t *testing.T) {
+		ab := clone(t, a)
+		if err := ab.Merge(clone(t, b)); err != nil {
+			t.Fatal(err)
+		}
+		bc := clone(t, b)
+		if err := bc.Merge(clone(t, c)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(merged(t, ab, c), merged(t, a, bc)) {
+			t.Errorf("(a⋃b)⋃c != a⋃(b⋃c) on canonical bytes")
+		}
+	})
+
+	t.Run("merge-idempotent", func(t *testing.T) {
+		if !bytes.Equal(merged(t, a, a), canon(t, a)) {
+			t.Errorf("a⋃a != a on canonical bytes")
+		}
+	})
+
+	t.Run("merge-refuses-mismatch", func(t *testing.T) {
+		other := build(t, info, 2, 0, 100)
+		if other.Digest() == a.Digest() {
+			// Seedless, parameter-free kinds (exact) have one universal
+			// configuration: there is no mismatch to refuse.
+			t.Skip("kind has a single configuration")
+		}
+		err := clone(t, a).Merge(other)
+		if !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("mismatched merge: err = %v, want sketch.ErrMismatch", err)
+		}
+	})
+
+	t.Run("merge-refuses-cross-kind", func(t *testing.T) {
+		for _, oi := range sketch.Kinds() {
+			if oi.Kind == info.Kind {
+				continue
+			}
+			other := build(t, oi, 1, 0, 10)
+			if err := clone(t, a).Merge(other); err == nil {
+				t.Errorf("merging kind %q into %q succeeded", oi.Name, info.Name)
+			}
+			break
+		}
+	})
+
+	t.Run("estimate-sane", func(t *testing.T) {
+		// a holds 1000 distinct labels at ε=0.25; any registered kind
+		// must land within an order of magnitude (AMS is the loosest,
+		// constant-factor only).
+		est := clone(t, a).Estimate()
+		if math.IsNaN(est) || est <= 0 || est > 1000*16 {
+			t.Errorf("estimate %v for 1000 distinct labels", est)
+		}
+	})
+}

@@ -2,14 +2,14 @@ package window
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // ErrCorrupt is returned when decoding a malformed window sketch.
-var ErrCorrupt = errors.New("window: corrupt sketch encoding")
+var ErrCorrupt = fmt.Errorf("window: corrupt sketch encoding: %w", sketch.ErrCorrupt)
 
 // Wire format (little endian, varints for counts):
 //

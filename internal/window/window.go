@@ -43,12 +43,13 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/sketch"
 )
 
 // Errors returned by this package.
 var (
 	// ErrMismatch is returned when merging incompatible sketches.
-	ErrMismatch = errors.New("window: cannot merge sketches with different configurations")
+	ErrMismatch = fmt.Errorf("window: cannot merge sketches with different configurations: %w", sketch.ErrMismatch)
 	// ErrOutOfOrder is returned for a timestamp below a previous one.
 	ErrOutOfOrder = errors.New("window: timestamps must be non-decreasing")
 	// ErrUncovered is returned when a queried window reaches further

@@ -18,7 +18,7 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(AppendFrame(EncodeFrame(MsgQuery, Query{Kind: QueryDistinct, HasSeed: true, Seed: 42}.Encode()), MsgStats, nil))
 	f.Add([]byte{})
 	f.Add([]byte{Magic0, Magic1, Version})
-	f.Add(EncodeFrame(MsgOpaque, nil)[:HeaderSize-1])
+	f.Add(EncodeFrame(MsgStats, nil)[:HeaderSize-1])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const limit = 1 << 16
 		typ, payload, rest, err := DecodeFrame(data, limit)

@@ -26,7 +26,7 @@ func main() {
 			wire.Query{Kind: wire.QueryCountWhere, HasSeed: true, Seed: 42, Pred: wire.PredMod, A: 10, B: 3}.Encode()),
 		"two-frames": wire.AppendFrame(wire.EncodeFrame(wire.MsgStats, nil),
 			wire.MsgQueryResult, wire.EncodeQueryResult(12345.5)),
-		"truncated-header": wire.EncodeFrame(wire.MsgOpaque, []byte("opaque"))[:wire.HeaderSize-2],
+		"truncated-header": wire.EncodeFrame(wire.MsgStats, []byte("stats"))[:wire.HeaderSize-2],
 		"bad-version":      {wire.Magic0, wire.Magic1, 99, 1, 0, 0, 0, 0, 0, 0, 0, 0},
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecode")

@@ -2,9 +2,9 @@
 // (the networked referee) and its site clients speak over TCP.
 //
 // The paper's model has each party send exactly one small message; this
-// package is the envelope for that message on a real network. A frame
-// wraps an opaque payload — usually one of the repository's existing
-// MarshalBinary sketch encodings — in a fixed 12-byte header:
+// package is the transport framing for that message on a real network.
+// A frame wraps an opaque payload — for pushes, a self-describing
+// internal/sketch envelope — in a fixed 12-byte header:
 //
 //	offset  size  field
 //	0       2     magic "US"
@@ -54,11 +54,16 @@ const (
 type MsgType uint8
 
 const (
-	// MsgPush carries a core.Estimator / unionstream.Sketch encoding
-	// from a site; the coordinator merges it into the matching group.
+	// MsgPush carries a sketch envelope (see internal/sketch: kind tag
+	// + format version + config digest + payload) from a site; the
+	// coordinator routes it through the kind registry and merges it
+	// into the matching (kind, digest) group. Former protocol
+	// generations had a separate MsgOpaque (type 7) for uninterpreted
+	// coordinator messages; the registry subsumed it, and type 7 is
+	// retired — never reuse it.
 	MsgPush MsgType = iota + 1
-	// MsgAck answers MsgPush/MsgOpaque (and reports request errors);
-	// payload is an Ack encoding.
+	// MsgAck answers MsgPush (and reports request errors); payload is
+	// an Ack encoding.
 	MsgAck
 	// MsgQuery requests an estimate; payload is a Query encoding.
 	MsgQuery
@@ -69,10 +74,6 @@ const (
 	MsgStats
 	// MsgStatsResult answers MsgStats; payload is JSON.
 	MsgStatsResult
-	// MsgOpaque carries a protocol-defined site message the server
-	// hands to a configured coordinator without interpreting it —
-	// the hook that lets every distsim.Protocol run over the network.
-	MsgOpaque
 
 	maxMsgType
 )
@@ -92,8 +93,6 @@ func (t MsgType) String() string {
 		return "stats"
 	case MsgStatsResult:
 		return "stats-result"
-	case MsgOpaque:
-		return "opaque"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -245,9 +244,9 @@ const (
 	AckSeedMismatch
 	// AckCorrupt: the payload failed sketch-level validation.
 	AckCorrupt
-	// AckUnsupported: the request is valid but this coordinator is not
-	// configured to serve it (e.g. MsgOpaque without a protocol
-	// coordinator).
+	// AckUnsupported: the request is valid but this coordinator cannot
+	// serve it (e.g. a sketch kind with no registered decoder in the
+	// server's build).
 	AckUnsupported
 	// AckError: any other server-side failure; Detail explains.
 	AckError
@@ -257,6 +256,11 @@ const (
 	// payload. Distinct from AckCorrupt, which reports a well-framed
 	// payload whose sketch-level decoding failed and is permanent.
 	AckBadFrame
+	// AckKindMismatch: the pushed sketch kind differs from the one
+	// this coordinator is pinned to (server.Config.RequireKind) — a
+	// site running the wrong backend must hear a typed, permanent
+	// refusal rather than silently forming its own group.
+	AckKindMismatch
 
 	numAckCodes
 )
@@ -278,6 +282,8 @@ func (c AckCode) String() string {
 		return "error"
 	case AckBadFrame:
 		return "bad-frame"
+	case AckKindMismatch:
+		return "kind-mismatch"
 	default:
 		return fmt.Sprintf("AckCode(%d)", uint8(c))
 	}
@@ -374,7 +380,13 @@ const (
 	numPredKinds
 )
 
-const queryEncodedLen = 1 + 1 + 8 + 1 + 8 + 8
+// Query flag bits (byte 1 of the encoding).
+const (
+	queryFlagSeed = 1 << 0
+	queryFlagKind = 1 << 1
+)
+
+const queryEncodedLen = 1 + 1 + 8 + 1 + 1 + 8 + 8
 
 // Query is the payload of a MsgQuery frame.
 type Query struct {
@@ -384,7 +396,13 @@ type Query struct {
 	// it holds several, since "the union" would be ambiguous).
 	HasSeed bool
 	Seed    uint64
-	Pred    PredKind
+	// HasKind restricts the query to groups of one sketch kind
+	// (SketchKind is a sketch.Kind tag) — needed when several
+	// backends share a coordination seed and the seed alone is
+	// ambiguous.
+	HasKind    bool
+	SketchKind uint8
+	Pred       PredKind
 	// A and B parameterize Pred (modulus/residue, or range bounds).
 	A, B uint64
 }
@@ -395,10 +413,18 @@ func (q Query) Encode() []byte {
 	b = append(b, byte(q.Kind))
 	var flags byte
 	if q.HasSeed {
-		flags |= 1
+		flags |= queryFlagSeed
+	}
+	if q.HasKind {
+		flags |= queryFlagKind
 	}
 	b = append(b, flags)
 	b = binary.LittleEndian.AppendUint64(b, q.Seed)
+	var kind byte
+	if q.HasKind {
+		kind = q.SketchKind
+	}
+	b = append(b, kind)
 	b = append(b, byte(q.Pred))
 	b = binary.LittleEndian.AppendUint64(b, q.A)
 	b = binary.LittleEndian.AppendUint64(b, q.B)
@@ -411,21 +437,27 @@ func DecodeQuery(b []byte) (Query, error) {
 		return Query{}, fmt.Errorf("%w: query payload %d bytes, want %d", ErrFrame, len(b), queryEncodedLen)
 	}
 	q := Query{
-		Kind:    QueryKind(b[0]),
-		HasSeed: b[1]&1 != 0,
-		Seed:    binary.LittleEndian.Uint64(b[2:10]),
-		Pred:    PredKind(b[10]),
-		A:       binary.LittleEndian.Uint64(b[11:19]),
-		B:       binary.LittleEndian.Uint64(b[19:27]),
+		Kind:       QueryKind(b[0]),
+		HasSeed:    b[1]&queryFlagSeed != 0,
+		Seed:       binary.LittleEndian.Uint64(b[2:10]),
+		HasKind:    b[1]&queryFlagKind != 0,
+		SketchKind: b[10],
+		Pred:       PredKind(b[11]),
+		A:          binary.LittleEndian.Uint64(b[12:20]),
+		B:          binary.LittleEndian.Uint64(b[20:28]),
 	}
 	if q.Kind >= numQueryKinds {
 		return Query{}, fmt.Errorf("%w: unknown query kind %d", ErrFrame, b[0])
 	}
-	if b[1]&^1 != 0 {
+	if b[1]&^(queryFlagSeed|queryFlagKind) != 0 {
 		return Query{}, fmt.Errorf("%w: unknown query flags %#x", ErrFrame, b[1])
 	}
+	if !q.HasKind && q.SketchKind != 0 {
+		// The encoding is canonical: an absent field must be zero.
+		return Query{}, fmt.Errorf("%w: sketch kind %d without the kind flag", ErrFrame, b[10])
+	}
 	if q.Pred >= numPredKinds {
-		return Query{}, fmt.Errorf("%w: unknown predicate kind %d", ErrFrame, b[10])
+		return Query{}, fmt.Errorf("%w: unknown predicate kind %d", ErrFrame, b[11])
 	}
 	return q, nil
 }

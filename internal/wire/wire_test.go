@@ -34,7 +34,7 @@ func TestFrameStreamOfFrames(t *testing.T) {
 	msgs := []struct {
 		t MsgType
 		p string
-	}{{MsgPush, "alpha"}, {MsgQuery, "beta"}, {MsgAck, ""}, {MsgOpaque, "gamma"}}
+	}{{MsgPush, "alpha"}, {MsgQuery, "beta"}, {MsgAck, ""}, {MsgStats, "gamma"}}
 	for _, m := range msgs {
 		if err := WriteFrame(&buf, m.t, []byte(m.p)); err != nil {
 			t.Fatal(err)

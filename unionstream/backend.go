@@ -1,0 +1,127 @@
+package unionstream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sketch"
+
+	// Register every sketch kind so any backend name resolves and any
+	// envelope decodes.
+	_ "repro/internal/sketch/kinds"
+)
+
+// Backend is a mergeable sketch of any registered kind behind one
+// uniform surface. Where Sketch is the paper's estimator with its
+// full query set, a Backend trades query richness for choice: the
+// same code can run the paper's sampler ("gt"), any comparison
+// baseline ("fm", "ams", "bjkst", "kmv", "hll"), the sliding-window
+// extension ("window"), or the exact set ("exact"), and every one of
+// them travels the same self-describing envelope that unionstreamd
+// merges by kind.
+type Backend struct {
+	name string
+	sk   sketch.Sketch
+	// w is non-nil when the kind supports weighted labels.
+	w sketch.Weighted
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	names := sketch.Names()
+	sort.Strings(names)
+	return names
+}
+
+// NewBackend returns an empty sketch of the named kind targeting
+// relative error epsilon (0 means 0.05) with the given coordination
+// seed. Backends that will ever be merged must share name, epsilon,
+// and seed.
+func NewBackend(name string, epsilon float64, seed uint64) (*Backend, error) {
+	if epsilon == 0 {
+		epsilon = 0.05
+	}
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("unionstream: epsilon %v outside (0, 1]", epsilon)
+	}
+	info, ok := sketch.LookupName(name)
+	if !ok {
+		return nil, fmt.Errorf("unionstream: unknown backend %q (have %v): %w",
+			name, Backends(), sketch.ErrUnknownKind)
+	}
+	return wrapBackend(info.Name, info.New(epsilon, seed)), nil
+}
+
+func wrapBackend(name string, sk sketch.Sketch) *Backend {
+	w, _ := sk.(sketch.Weighted)
+	return &Backend{name: name, sk: sk, w: w}
+}
+
+// DecodeBackend opens a MarshalBinary envelope of any registered
+// kind.
+func DecodeBackend(envelope []byte) (*Backend, error) {
+	sk, err := sketch.Open(envelope)
+	if err != nil {
+		return nil, err
+	}
+	info, _ := sketch.Lookup(sk.Kind())
+	return wrapBackend(info.Name, sk), nil
+}
+
+// Name returns the backend's registered kind name.
+func (b *Backend) Name() string { return b.name }
+
+// Seed returns the coordination seed.
+func (b *Backend) Seed() uint64 { return b.sk.Seed() }
+
+// Add observes one occurrence of a 64-bit label.
+func (b *Backend) Add(label uint64) { b.sk.Process(label) }
+
+// AddValued observes a label carrying a fixed integer value. Kinds
+// without weighted support ("fm", "hll", ...) record the label and
+// drop the value — SumDistinct then reports NaN, not a wrong number.
+func (b *Backend) AddValued(label, value uint64) {
+	if b.w != nil {
+		b.w.ProcessWeighted(label, value)
+		return
+	}
+	b.sk.Process(label)
+}
+
+// Merge folds other into b. Both must be the same kind with the same
+// configuration; otherwise Merge returns an error wrapping
+// ErrMismatch and leaves b unchanged.
+func (b *Backend) Merge(other *Backend) error {
+	if other == nil {
+		return fmt.Errorf("unionstream: merge with nil backend: %w", ErrMismatch)
+	}
+	return b.sk.Merge(other.sk)
+}
+
+// DistinctCount estimates the number of distinct labels in the union
+// of all streams merged into b.
+func (b *Backend) DistinctCount() float64 { return b.sk.Estimate() }
+
+// SumDistinct estimates the sum of values over distinct labels, or
+// NaN when the kind cannot answer sums.
+func (b *Backend) SumDistinct() float64 {
+	if sum, ok := b.sk.(sketch.Summer); ok {
+		return sum.EstimateSum()
+	}
+	return math.NaN()
+}
+
+// MarshalBinary encodes the sketch as a self-describing envelope —
+// the message a party pushes to unionstreamd, decodable by
+// DecodeBackend whatever its kind.
+func (b *Backend) MarshalBinary() ([]byte, error) { return sketch.Envelope(b.sk) }
+
+// SizeBytes returns the wire size of the encoded envelope.
+func (b *Backend) SizeBytes() int {
+	env, err := b.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(env)
+}

@@ -1,0 +1,111 @@
+package unionstream_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/unionstream"
+)
+
+func TestBackendsRegistry(t *testing.T) {
+	have := map[string]bool{}
+	for _, name := range unionstream.Backends() {
+		have[name] = true
+	}
+	for _, name := range []string{"gt", "fm", "ams", "bjkst", "kmv", "hll", "window", "exact"} {
+		if !have[name] {
+			t.Errorf("backend %q missing from Backends() = %v", name, unionstream.Backends())
+		}
+	}
+	if _, err := unionstream.NewBackend("nope", 0.1, 1); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := unionstream.NewBackend("gt", 1.5, 1); err == nil {
+		t.Error("epsilon 1.5 accepted")
+	}
+}
+
+// TestBackendUnionEstimates: every backend must estimate the union of
+// two overlapping streams through the same Add/Merge/DistinctCount
+// surface, and its envelope must round-trip through DecodeBackend.
+func TestBackendUnionEstimates(t *testing.T) {
+	const truth = 3000 // labels 0..2999 across two overlapping parties
+	for _, name := range unionstream.Backends() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := unionstream.NewBackend(name, 0.1, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := unionstream.NewBackend(name, 0.1, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := uint64(0); x < 2000; x++ {
+				a.AddValued(x, 2)
+			}
+			for x := uint64(1000); x < 3000; x++ {
+				b.AddValued(x, 2)
+			}
+
+			// Ship b to a, as a coordinator would receive it.
+			env, err := b.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := unionstream.DecodeBackend(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Name() != name || dec.Seed() != b.Seed() {
+				t.Fatalf("decoded identity %s/%d, want %s/%d", dec.Name(), dec.Seed(), name, b.Seed())
+			}
+			if err := a.Merge(dec); err != nil {
+				t.Fatal(err)
+			}
+
+			est := a.DistinctCount()
+			// AMS is constant-factor only; everything else should land
+			// well within 30% at these sizes.
+			tol := 0.3
+			if name == "ams" {
+				tol = 7.0
+			}
+			if rel := math.Abs(est-truth) / truth; rel > tol {
+				t.Errorf("distinct %.0f, truth %d (rel %.2f > %.2f)", est, truth, rel, tol)
+			}
+
+			// Sum support is capability-gated: a real value for kinds
+			// that track values, NaN (never a wrong number) otherwise.
+			if sum := a.SumDistinct(); !math.IsNaN(sum) {
+				if rel := math.Abs(sum-2*truth) / (2 * truth); rel > tol {
+					t.Errorf("sum %.0f, truth %d (rel %.2f)", sum, 2*truth, rel)
+				}
+			}
+		})
+	}
+}
+
+func TestBackendMismatchTyped(t *testing.T) {
+	a, err := unionstream.NewBackend("kmv", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := unionstream.NewBackend("kmv", 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); !unionstream.IsMismatch(err) {
+		t.Errorf("cross-seed merge: err = %v, want IsMismatch", err)
+	}
+	c, err := unionstream.NewBackend("fm", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("cross-kind merge succeeded")
+	}
+	if err := a.Merge(nil); !unionstream.IsMismatch(err) {
+		t.Errorf("nil merge: err = %v, want IsMismatch", err)
+	}
+}

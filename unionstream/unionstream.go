@@ -32,6 +32,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/core"
+	"repro/internal/sketch"
 )
 
 // Errors returned by this package. ErrMismatch wraps merge/decode
@@ -190,6 +191,13 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	return s.est.MarshalBinary()
 }
 
+// Envelope encodes the sketch as a self-describing registry envelope
+// (kind "gt"), the format unionstreamd absorbs; DecodeBackend opens
+// it. MarshalBinary remains the bare estimator encoding.
+func (s *Sketch) Envelope() ([]byte, error) {
+	return sketch.Envelope(s.est)
+}
+
 // UnmarshalBinary decodes a sketch produced by MarshalBinary,
 // replacing s's state.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
@@ -208,6 +216,22 @@ func Decode(data []byte) (*Sketch, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// DecodeEnvelope decodes a registry envelope produced by Envelope. The
+// envelope must hold a "gt" sketch; use DecodeBackend to open
+// envelopes of any kind.
+func DecodeEnvelope(data []byte) (*Sketch, error) {
+	sk, err := sketch.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	est, ok := sk.(*core.Estimator)
+	if !ok {
+		return nil, fmt.Errorf("unionstream: envelope holds a %q sketch, not the paper's estimator: %w",
+			sk.Kind(), ErrMismatch)
+	}
+	return &Sketch{est: est}, nil
 }
 
 // SizeBytes returns the wire size of the sketch: the per-party
@@ -231,8 +255,9 @@ func (s *Sketch) Epsilon() float64 {
 // δ-amplification factor).
 func (s *Sketch) Copies() int { return s.est.Copies() }
 
-// IsMismatch reports whether err indicates incompatible sketches.
-func IsMismatch(err error) bool { return errors.Is(err, ErrMismatch) }
+// IsMismatch reports whether err indicates incompatible sketches —
+// from Sketch.Merge or Backend.Merge of any kind.
+func IsMismatch(err error) bool { return errors.Is(err, sketch.ErrMismatch) }
 
 // Set operations between two coordinated sketches — the extension
 // direction this paper's successors (theta/KMV sketches) made
