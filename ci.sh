@@ -8,7 +8,9 @@
 # unionlint (cmd/unionlint, see README "Static analysis") enforces the
 # invariants the compiler can't: coordinated seeding, documented mutex
 # guards, the %w error contract at the wire boundary, float comparison
-# hygiene, and hot-path allocation budgets.
+# hygiene, hot-path allocation budgets, and — via cross-package facts —
+# the registry/wire/determinism contracts (kindcheck, ackcontract,
+# mergepure, failpointcheck).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,6 +23,12 @@ GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.3}"
 
 echo "== go vet =="
 go vet ./...
+
+echo "== unionlint self-test (golden suites) =="
+# The linter's own analysistest suites run before the linter is trusted
+# with the tree: a broken analyzer must fail loudly here, not silently
+# under-report in the vettool pass below.
+go test ./internal/analysis/...
 
 echo "== unionlint =="
 UNIONLINT="$(go env GOPATH)/bin/unionlint"
@@ -36,7 +44,11 @@ if ! go vet -vettool="$UNIONLINT" ./... 2>"$UNIONLINT_OUT"; then
     "$UNIONLINT" -summarize <"$UNIONLINT_OUT"
     echo "ci.sh: unionlint found violations (fix them, annotate" \
          "'unionlint:allow <analyzer> <reason>', or run" \
-         "'go run ./cmd/unionlint -fix ./...' for %w rewrites)"
+         "'go run ./cmd/unionlint -fix ./...' for %w rewrites)."
+    echo "ci.sh: fact-driven analyzers: kindcheck (registry tags/sentinels)," \
+         "ackcontract (// ackclass: transient/permanent), mergepure" \
+         "(// mergepure:seam for reviewed nondeterminism), failpointcheck" \
+         "(declared failpoint sites); see README 'Static analysis'."
     exit 1
 fi
 

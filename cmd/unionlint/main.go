@@ -1,22 +1,26 @@
-// Command unionlint is the repository's static-analysis suite: five
+// Command unionlint is the repository's static-analysis suite: nine
 // analyzers encoding the invariants the coordinated-sampling scheme
 // depends on (seedcheck, lockcheck, floatcmp, errcontract,
-// hotpathalloc — see `unionlint -help` or README "Static analysis").
+// hotpathalloc, kindcheck, mergepure, ackcontract, failpointcheck —
+// see `unionlint -help` or README "Static analysis").
 //
 // It runs in two modes:
 //
 //	go vet -vettool=$(go env GOPATH)/bin/unionlint ./...
 //
 // speaks the go command's vet-tool protocol (this is what ci.sh runs:
-// it covers test compilations and caches per package), and
+// it covers test compilations, caches per package, and round-trips
+// analyzer facts through .vetx files), and
 //
 //	unionlint [flags] ./...
 //
-// loads packages itself and prints findings grouped per analyzer.
-// Standalone-only flags: -fix applies the mechanical suggested fixes
-// (errcontract's %w rewrites); -hotpathalloc.write regenerates the
-// allocation baseline; -summarize regroups vet-mode output read from
-// stdin.
+// loads packages itself in dependency order (so facts flow the same
+// way) and prints findings grouped per analyzer. Standalone-only
+// flags: -fix applies the mechanical suggested fixes (errcontract's
+// %w rewrites); -json emits one JSON object per diagnostic for CI
+// artifacts; -hotpathalloc.update regenerates the allocation baseline
+// (lint/hotpathalloc.baseline); -summarize regroups vet-mode output
+// read from stdin.
 package main
 
 import (
@@ -53,7 +57,9 @@ func run(argv []string) int {
 
 	fs := flag.NewFlagSet(progname, flag.ContinueOnError)
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree (standalone mode)")
+	jsonOut := fs.Bool("json", false, "print findings as JSON Lines (one diagnostic per line) instead of the grouped summary")
 	summarize := fs.Bool("summarize", false, "read vet-mode diagnostics from stdin and print a per-analyzer summary")
+	update := fs.Bool("hotpathalloc.update", false, "regenerate lint/hotpathalloc.baseline from the current tree (alias for -hotpathalloc.write=1)")
 	verbose := fs.Bool("v", false, "also list analyzers that found nothing")
 	var flagVals []*string
 	var flagRefs []*analysis.Flag
@@ -99,6 +105,13 @@ func run(argv []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *update {
+		// -hotpathalloc.update is the documented way to regenerate the
+		// baseline; it simply arms the analyzer's write flag.
+		if w := lookupFlag(analyzers, "hotpathalloc", "write"); w != nil {
+			w.Value = "1"
+		}
+	}
 	if err := prepareBaselineWrite(analyzers); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		return 1
@@ -108,9 +121,17 @@ func run(argv []string) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		return 1
 	}
+	// One shared fact store; packages arrive in dependency order, so
+	// by the time a package runs, every fact of its transitive imports
+	// is present, and the per-package view hides everything else.
+	store := driver.NewFactStore(analyzers)
 	var findings []driver.Finding
 	for _, pkg := range pkgs {
-		fs, err := driver.RunAnalyzers(pkg, analyzers)
+		visible := make(map[string]bool, len(pkg.Deps))
+		for _, d := range pkg.Deps {
+			visible[d] = true
+		}
+		fs, err := driver.RunAnalyzers(pkg, analyzers, store.View(pkg.Pkg, visible))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			return 1
@@ -124,6 +145,19 @@ func run(argv []string) int {
 			return 1
 		}
 		fmt.Printf("%s: applied %d suggested fix(es)\n", progname, n)
+		return 0
+	}
+	if *update {
+		fmt.Printf("%s: regenerated hotpathalloc baseline\n", progname)
+	}
+	if *jsonOut {
+		if err := driver.PrintJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		if len(findings) > 0 {
+			return 1
+		}
 		return 0
 	}
 	if len(findings) == 0 {
@@ -140,9 +174,20 @@ func run(argv []string) int {
 	return 1
 }
 
+// lookupFlag finds one analyzer flag by analyzer and flag name.
+func lookupFlag(analyzers []*analysis.Analyzer, analyzer, name string) *analysis.Flag {
+	for _, a := range analyzers {
+		if a.Name == analyzer {
+			return a.Lookup(name)
+		}
+	}
+	return nil
+}
+
 // prepareBaselineWrite truncates the hotpathalloc baseline before a
-// -hotpathalloc.write sweep (each package pass appends to it), filling
-// in the default module path when the flag is unset.
+// -hotpathalloc.update / -hotpathalloc.write sweep (each package pass
+// appends to it), filling in the default module path when the flag is
+// unset.
 func prepareBaselineWrite(analyzers []*analysis.Analyzer) error {
 	var hp *analysis.Analyzer
 	for _, a := range analyzers {
@@ -169,7 +214,8 @@ func prepareBaselineWrite(analyzers []*analysis.Analyzer) error {
 	}
 	header := "# hotpathalloc baseline: accepted allocation sites in hotpath functions.\n" +
 		"# One \"pkg<TAB>func<TAB>kind<TAB>count\" line per bucket.\n" +
-		"# Regenerate with: go run ./cmd/unionlint -hotpathalloc.write=1 ./...\n"
+		"# Do not edit by hand; regenerate with:\n" +
+		"#   go run ./cmd/unionlint -hotpathalloc.update ./...\n"
 	return os.WriteFile(b.Value, []byte(header), 0o644)
 }
 

@@ -1,0 +1,33 @@
+package ackcontract_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/ackcontract"
+	"repro/internal/analysis/analysistest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestAckcontractDeclarations(t *testing.T) {
+	analysistest.Run(t, testdata(t), ackcontract.Analyzer,
+		"repro/internal/wire",
+		"repro/bad/internal/wire",
+	)
+}
+
+func TestAckcontractRetrySwitches(t *testing.T) {
+	analysistest.Run(t, testdata(t), ackcontract.Analyzer,
+		"repro/internal/client/retry",
+		"repro/internal/client/nopermanent",
+		"repro/internal/client/nodefault",
+	)
+}

@@ -1,0 +1,25 @@
+// Package wire exercises every declaration-side ackcontract failure:
+// a missing annotation, a double annotation, an unknown class, and an
+// aliased code value.
+package wire
+
+type AckCode uint8
+
+const (
+	// AckOK: accepted.
+	// ackclass: success
+	AckOK AckCode = iota
+	// AckMissing has prose but no classification.
+	AckMissing // want "ack code AckMissing has no // ackclass: annotation"
+	// AckDouble cannot make up its mind.
+	// ackclass: transient
+	// ackclass: permanent
+	AckDouble // want "ack code AckDouble is classified more than once"
+	// AckWeird invents a category.
+	// ackclass: sometimes
+	AckWeird // want "ack code AckWeird has unknown ackclass \"sometimes\""
+)
+
+// AckAlias shadows AckOK's value.
+// ackclass: permanent
+const AckAlias AckCode = 0 // want "ack code AckAlias has the same value \\(0\\) as AckOK"

@@ -1,0 +1,26 @@
+// Package nodefault leaves declared ack codes both uncased and
+// undefaulted: a new AckCode would be silently dropped.
+package nodefault
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+var ErrRejected = errors.New("nodefault: rejected")
+
+func permanent(err error) bool { return errors.Is(err, ErrRejected) }
+
+func handle(code wire.AckCode) error {
+	switch code { // want "ack code AckBadFrame \\(transient\\) is not handled by this switch and there is no default clause" "ack code AckCorrupt \\(permanent\\) is not handled" "ack code AckError \\(transient\\) is not handled"
+	case wire.AckOK:
+		return nil
+	case wire.AckVersionMismatch, wire.AckSeedMismatch:
+		return fmt.Errorf("%w: %s", ErrRejected, code)
+	}
+	return nil
+}
+
+var _, _ = handle, permanent

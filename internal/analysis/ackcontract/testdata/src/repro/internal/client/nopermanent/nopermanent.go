@@ -1,0 +1,15 @@
+// Package nopermanent switches on ack codes without any permanent()
+// classifier: the retry loop has no way to stop retrying refusals.
+package nopermanent
+
+import "repro/internal/wire"
+
+func kind(code wire.AckCode) string {
+	switch code { // want "no permanent\\(err\\) classifier in this package"
+	case wire.AckOK:
+		return "ok"
+	}
+	return "other"
+}
+
+var _ = kind

@@ -1,0 +1,42 @@
+// Package retry mirrors the real client's ackError/permanent pair,
+// with two deliberate misclassifications and a default clause that
+// swallows a transient code.
+package retry
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+var (
+	ErrVersionMismatch = errors.New("retry: version")
+	ErrSeedMismatch    = errors.New("retry: seed")
+	ErrRejected        = errors.New("retry: rejected")
+	ErrFrameDamaged    = errors.New("retry: frame damaged")
+)
+
+// permanent reports whether err is a refusal retrying cannot fix.
+func permanent(err error) bool {
+	return errors.Is(err, ErrVersionMismatch) ||
+		errors.Is(err, ErrSeedMismatch) ||
+		errors.Is(err, ErrRejected)
+}
+
+func ackError(code wire.AckCode, detail string) error {
+	switch code {
+	case wire.AckOK:
+		return nil
+	case wire.AckVersionMismatch:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, detail)
+	case wire.AckSeedMismatch: // want "ack code AckSeedMismatch is declared permanent but is treated as transient"
+		return fmt.Errorf("%w: %s", ErrFrameDamaged, detail)
+	case wire.AckBadFrame: // want "ack code AckBadFrame is declared transient but is treated as permanent"
+		return fmt.Errorf("%w: %s", ErrRejected, detail)
+	default: // want "ack code AckError is declared transient but is treated as permanent by the default clause"
+		return fmt.Errorf("%w: %s", ErrRejected, detail)
+	}
+}
+
+var _ = ackError

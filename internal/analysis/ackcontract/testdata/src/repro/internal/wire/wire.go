@@ -1,0 +1,32 @@
+// Package wire is a fully annotated stub of the real framing package:
+// every AckCode carries exactly one ackclass line, so ackcontract has
+// facts to check client packages against and nothing to report here.
+package wire
+
+// AckCode classifies the coordinator's response to a message.
+type AckCode uint8
+
+const (
+	// AckOK: the message was absorbed.
+	// ackclass: success
+	AckOK AckCode = iota
+	// AckVersionMismatch: the peer spoke a different protocol version.
+	// ackclass: permanent
+	AckVersionMismatch
+	// AckSeedMismatch: incompatible coordination seed.
+	// ackclass: permanent
+	AckSeedMismatch
+	// AckCorrupt: the payload failed sketch-level validation.
+	// ackclass: permanent
+	AckCorrupt
+	// AckBadFrame: wire-level damage; the sender may retry.
+	// ackclass: transient
+	AckBadFrame
+	// AckError: server-side failure; the message was not condemned.
+	// ackclass: transient
+	AckError
+
+	numAckCodes
+)
+
+var _ = numAckCodes

@@ -41,6 +41,10 @@ type Analyzer struct {
 	// Flags holds analyzer-specific flags, registered by drivers under
 	// the -<name>. prefix. Nil means no flags.
 	Flags []*Flag
+	// FactTypes lists one zero value per concrete Fact type the
+	// analyzer exports or imports, so drivers can register them for
+	// gob (de)serialization. Nil means the analyzer uses no facts.
+	FactTypes []Fact
 	// Run performs the check on one package.
 	Run func(*Pass) error
 }
@@ -75,6 +79,12 @@ type Pass struct {
 	// call Pass.Reportf / Pass.Report, which apply unionlint:allow
 	// suppression before forwarding here.
 	Report func(Diagnostic)
+
+	// Facts is the driver's fact store view for this pass: exports
+	// attach to this package, imports see the transitive imports. Nil
+	// when the driver does not support facts; the Pass fact methods
+	// (facts.go) degrade gracefully then.
+	Facts FactContext
 
 	allow map[allowKey]bool // lazily built unionlint:allow index
 }

@@ -5,19 +5,34 @@
 //
 // Layout: testdata/src/<import/path>/*.go, loaded as package
 // <import/path> (so scope-sensitive analyzers see realistic paths).
-// Expectations are comments of the form
+// Imports between testdata packages are resolved from source,
+// recursively, within one shared fact store — so fact-driven analyzers
+// (kindcheck, ackcontract, ...) see their dependencies' facts exactly
+// as the real drivers deliver them. Standard-library imports resolve
+// through the build cache. Expectations are comments of the form
 //
 //	expr // want "regexp"
 //	expr // want "first" "second"
 //
 // Every diagnostic must match a want on its line, and every want must
-// be matched by at least one diagnostic.
+// be matched by at least one diagnostic. Dependency packages loaded
+// only as imports are analyzed too (their facts are needed) but their
+// wants are checked only when the package is named in the Run call.
+//
+// RunFixes additionally applies the analyzer's suggested fixes in
+// memory and compares the result against <file>.golden siblings,
+// re-analyzes the fixed sources to prove the fixes compile, and checks
+// that a second application changes nothing (idempotency).
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/importer"
+	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"path/filepath"
@@ -31,44 +46,193 @@ import (
 	"repro/internal/analysis/driver"
 )
 
-// Run loads each pkgPath from dir/src and applies a to it.
+// Run loads each pkgPath from dir/src (with its testdata imports) and
+// applies a to it, checking diagnostics against // want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	ld := newLoader(t, dir, a, nil)
 	for _, path := range pkgPaths {
-		runOne(t, dir, a, path)
+		lp := ld.load(path)
+		checkWants(t, ld.fset, lp.files, lp.findings)
 	}
 }
 
-func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+// RunFixes loads pkgPath, applies the analyzer's suggested fixes in
+// memory, and for every changed file requires a sibling
+// <file>.golden with the expected output. It then re-parses and
+// re-typechecks the fixed sources (fixes must never produce
+// non-compiling code), re-runs the analyzer over them, and requires
+// that applying fixes again yields zero edits (idempotency).
+func RunFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
-	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
-	entries, err := os.ReadDir(pkgDir)
+	ld := newLoader(t, dir, a, nil)
+	lp := ld.load(pkgPath)
+	fixed, n, err := driver.FixedSources(lp.findings)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		t.Fatalf("%s: applying fixes: %v", pkgPath, err)
 	}
-	var filenames []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+	if n == 0 {
+		t.Fatalf("%s: analyzer produced no applicable fixes; nothing to test", pkgPath)
+	}
+	for name, got := range fixed {
+		golden := name + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("%s: missing golden file for fixed output: %v\nfixed contents:\n%s", pkgPath, err, got)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from %s:\n-- got --\n%s\n-- want --\n%s",
+				name, golden, got, want)
 		}
 	}
-	if len(filenames) == 0 {
-		t.Fatalf("%s: no Go files in %s", pkgPath, pkgDir)
-	}
-	fset := token.NewFileSet()
-	files, err := driver.ParseFiles(fset, filenames)
+	// Second pass over the fixed sources: must compile, and a second
+	// fix application must be a no-op.
+	ld2 := newLoader(t, dir, a, fixed)
+	lp2 := ld2.load(pkgPath)
+	_, n2, err := driver.FixedSourcesFrom(lp2.findings, fixed)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		t.Fatalf("%s: re-applying fixes: %v", pkgPath, err)
 	}
-	pkg, err := driver.TypeCheck(fset, pkgPath, files, stdlibLookup(t, files), "")
+	if n2 != 0 {
+		t.Errorf("%s: fixes are not idempotent: second application produced %d edit(s)", pkgPath, n2)
+	}
+}
+
+// loadedPkg is one testdata package after parse/typecheck/analysis.
+type loadedPkg struct {
+	files    []*ast.File
+	pkg      *driver.Package
+	findings []driver.Finding
+}
+
+// loader resolves testdata packages from source (recursively, through
+// one shared FileSet and fact store) and stdlib packages from export
+// data. overlay maps filename → contents taking precedence over disk,
+// so RunFixes can re-analyze fixed sources in place.
+type loader struct {
+	t        *testing.T
+	dir      string
+	analyzer *analysis.Analyzer
+	fset     *token.FileSet
+	store    *driver.FactStore
+	gcImp    types.Importer
+	overlay  map[string][]byte
+	pkgs     map[string]*loadedPkg
+	loading  map[string]bool
+}
+
+func newLoader(t *testing.T, dir string, a *analysis.Analyzer, overlay map[string][]byte) *loader {
+	ld := &loader{
+		t:        t,
+		dir:      dir,
+		analyzer: a,
+		fset:     token.NewFileSet(),
+		store:    driver.NewFactStore([]*analysis.Analyzer{a}),
+		overlay:  overlay,
+		pkgs:     map[string]*loadedPkg{},
+		loading:  map[string]bool{},
+	}
+	ld.gcImp = importer.ForCompiler(ld.fset, "gc", importer.Lookup(func(path string) (io.ReadCloser, error) {
+		return stdlibExport(t, path)
+	}))
+	return ld
+}
+
+// srcDir returns the on-disk directory for a testdata import path, or
+// "" if the path is not provided by this testdata tree.
+func (ld *loader) srcDir(pkgPath string) string {
+	dir := filepath.Join(ld.dir, "src", filepath.FromSlash(pkgPath))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer over the testdata tree + stdlib.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ld.srcDir(path) != "" {
+		return ld.load(path).pkg.Pkg, nil
+	}
+	return ld.gcImp.Import(path)
+}
+
+// load parses, type-checks, and analyzes one testdata package,
+// memoized. Dependencies load (and are analyzed) first via Import, so
+// their facts are in the store before the importer's pass runs.
+func (ld *loader) load(pkgPath string) *loadedPkg {
+	ld.t.Helper()
+	if lp, ok := ld.pkgs[pkgPath]; ok {
+		return lp
+	}
+	if ld.loading[pkgPath] {
+		ld.t.Fatalf("import cycle in testdata involving %s", pkgPath)
+	}
+	ld.loading[pkgPath] = true
+	defer delete(ld.loading, pkgPath)
+
+	pkgDir := ld.srcDir(pkgPath)
+	if pkgDir == "" {
+		ld.t.Fatalf("%s: no such testdata package under %s", pkgPath, filepath.Join(ld.dir, "src"))
+	}
+	entries, err := os.ReadDir(pkgDir)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		ld.t.Fatalf("%s: %v", pkgPath, err)
 	}
-	findings, err := driver.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(pkgDir, e.Name())
+		var src any
+		if ov, ok := ld.overlay[name]; ok {
+			src = ov
+		}
+		f, err := parser.ParseFile(ld.fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("%s: no Go files in %s", pkgPath, pkgDir)
+	}
+	pkg, err := driver.TypeCheckImporter(ld.fset, pkgPath, files, ld, "")
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		ld.t.Fatalf("%s: %v", pkgPath, err)
 	}
-	checkWants(t, fset, files, findings)
+	// Restrict fact visibility to the package's transitive imports,
+	// exactly as the real drivers do — a testdata package must not see
+	// facts of packages it does not (transitively) import, even when
+	// one Run call has already loaded them into the shared store.
+	findings, err := driver.RunAnalyzers(pkg, []*analysis.Analyzer{ld.analyzer},
+		ld.store.View(pkg.Pkg, depClosure(pkg.Pkg)))
+	if err != nil {
+		ld.t.Fatalf("%s: %v", pkgPath, err)
+	}
+	lp := &loadedPkg{files: files, pkg: pkg, findings: findings}
+	ld.pkgs[pkgPath] = lp
+	return lp
+}
+
+// depClosure returns the import paths transitively reachable from pkg.
+func depClosure(pkg *types.Package) map[string]bool {
+	seen := map[string]bool{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp.Path()] {
+				seen[imp.Path()] = true
+				walk(imp)
+			}
+		}
+	}
+	walk(pkg)
+	return seen
 }
 
 // want is one expectation.
@@ -168,48 +332,32 @@ func parseWants(s string) ([]*want, error) {
 	return out, nil
 }
 
-// stdlibLookup resolves testdata imports (standard library only) to
-// export data via one cached `go list` sweep per process.
+// stdlibExport resolves a standard-library import to its export data
+// via one cached `go list` sweep per process.
 var (
 	exportMu    sync.Mutex
 	exportCache = map[string]string{}
 )
 
-func stdlibLookup(t *testing.T, files []*ast.File) driver.ExportLookup {
+func stdlibExport(t *testing.T, path string) (io.ReadCloser, error) {
 	t.Helper()
-	var need []string
-	for _, f := range files {
-		for _, imp := range f.Imports {
-			path, _ := strconv.Unquote(imp.Path.Value)
-			if path != "" && path != "unsafe" {
-				need = append(need, path)
-			}
-		}
-	}
 	exportMu.Lock()
-	defer exportMu.Unlock()
-	var miss []string
-	for _, p := range need {
-		if _, ok := exportCache[p]; !ok {
-			miss = append(miss, p)
-		}
-	}
-	if len(miss) > 0 {
-		pkgs, err := driver.GoList(".", miss...)
+	file, ok := exportCache[path]
+	exportMu.Unlock()
+	if !ok {
+		pkgs, err := driver.GoList(".", path)
 		if err != nil {
-			t.Fatalf("resolving testdata imports: %v", err)
+			return nil, fmt.Errorf("resolving testdata import %q: %v", path, err)
 		}
-		for path, export := range driver.ExportMap(pkgs) {
-			exportCache[path] = export
-		}
-	}
-	return func(path string) (io.ReadCloser, error) {
 		exportMu.Lock()
-		file, ok := exportCache[path]
+		for p, export := range driver.ExportMap(pkgs) {
+			exportCache[p] = export
+		}
+		file, ok = exportCache[path]
 		exportMu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("testdata import %q not resolved", path)
 		}
-		return os.Open(file)
 	}
+	return os.Open(file)
 }

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // listedPackage is the slice of `go list -json` output we consume.
@@ -18,6 +19,7 @@ type listedPackage struct {
 	Standard   bool
 	Export     string
 	GoFiles    []string
+	Deps       []string // transitive import paths
 	Module     *struct{ Path, Dir string }
 }
 
@@ -26,7 +28,7 @@ type listedPackage struct {
 // a side effect, so every dependency can be imported without source
 // re-typechecking.
 func GoList(dir string, patterns ...string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Standard,Export,GoFiles,Module"}, patterns...)
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Standard,Export,GoFiles,Deps,Module"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -72,6 +74,12 @@ func ExportMap(pkgs []*listedPackage) map[string]string {
 // (identified from dir's go.mod). Test compilations are covered by the
 // `go vet -vettool` front end, which the go command feeds test
 // variants natively.
+//
+// Packages come back in dependency order (every package after all of
+// its imports) so a driver analyzing them in sequence sees facts from
+// a package's imports before reaching the package itself; sorting by
+// transitive-dep count achieves that, since an importer always has a
+// strictly larger dependency closure than each of its imports.
 func LoadModulePackages(dir string, patterns ...string) ([]*Package, error) {
 	modRoot, modPath, err := FindModule(dir)
 	if err != nil {
@@ -83,11 +91,18 @@ func LoadModulePackages(dir string, patterns ...string) ([]*Package, error) {
 	}
 	exports := ExportMap(listed)
 	lookup := FileLookup(nil, exports)
-	var out []*Package
+	var inModule []*listedPackage
 	for _, lp := range listed {
 		if lp.Standard || lp.Module == nil || lp.Module.Path != modPath || len(lp.GoFiles) == 0 {
 			continue
 		}
+		inModule = append(inModule, lp)
+	}
+	sort.SliceStable(inModule, func(i, j int) bool {
+		return len(inModule[i].Deps) < len(inModule[j].Deps)
+	})
+	var out []*Package
+	for _, lp := range inModule {
 		fset := token.NewFileSet()
 		var filenames []string
 		for _, f := range lp.GoFiles {
@@ -101,6 +116,7 @@ func LoadModulePackages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Deps = lp.Deps
 		out = append(out, pkg)
 	}
 	return out, nil

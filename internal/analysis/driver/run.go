@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"io"
@@ -20,7 +21,9 @@ type Finding struct {
 }
 
 // RunAnalyzers runs every analyzer over pkg and returns the findings.
-func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+// facts is the pass's fact store view (FactStore.View); nil disables
+// facts, which only fact-free analyzers tolerate meaningfully.
+func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer, facts analysis.FactContext) ([]Finding, error) {
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
@@ -29,6 +32,7 @@ func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, erro
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
 			out = append(out, Finding{
@@ -95,6 +99,39 @@ func PrintGrouped(w io.Writer, fs []Finding) {
 	}
 }
 
+// jsonFinding is the -json wire shape: one object per diagnostic.
+type jsonFinding struct {
+	Analyzer string   `json:"analyzer"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Message  string   `json:"message"`
+	Fixes    []string `json:"suggested_fixes,omitempty"`
+}
+
+// PrintJSON writes findings as JSON Lines — one object per diagnostic
+// with analyzer, position, message, and any suggested-fix summaries —
+// so CI can archive a machine-readable findings artifact.
+func PrintJSON(w io.Writer, fs []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range fs {
+		jf := jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Diag.Message,
+		}
+		for _, fix := range f.Diag.SuggestedFixes {
+			jf.Fixes = append(jf.Fixes, fix.Message)
+		}
+		if err := enc.Encode(jf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Summarize reads plain "file:line:col: [name] message" lines (as
 // emitted by the vet mode, possibly interleaved with go vet's own "#
 // package" headers) and prints the grouped per-analyzer summary.
@@ -143,14 +180,15 @@ func Summarize(r io.Reader, w io.Writer) error {
 	return nil
 }
 
-// ApplyFixes applies every suggested fix carried by fs to the files on
-// disk, latest offsets first so earlier edits do not shift later ones.
-// It returns the number of edits applied.
-func ApplyFixes(fs []Finding) (int, error) {
-	type edit struct {
-		start, end int
-		text       []byte
-	}
+// edit is one byte-offset splice within a single file.
+type edit struct {
+	start, end int
+	text       []byte
+}
+
+// collectEdits gathers every suggested-fix text edit from fs, grouped
+// by filename and expressed as byte offsets.
+func collectEdits(fs []Finding) map[string][]edit {
 	perFile := map[string][]edit{}
 	for _, f := range fs {
 		for _, fix := range f.Diag.SuggestedFixes {
@@ -165,22 +203,67 @@ func ApplyFixes(fs []Finding) (int, error) {
 			}
 		}
 	}
+	return perFile
+}
+
+// applyEdits splices edits into src, latest offsets first so earlier
+// edits do not shift later ones; overlapping or out-of-range edits are
+// skipped. It returns the new contents and the count applied.
+func applyEdits(src []byte, edits []edit) ([]byte, int) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
 	applied := 0
-	for name, edits := range perFile {
-		src, err := os.ReadFile(name)
-		if err != nil {
-			return applied, err
+	prev := len(src) + 1
+	for _, e := range edits {
+		if e.end > prev || e.start > e.end || e.end > len(src) {
+			continue // overlapping or out-of-range edit: skip
 		}
-		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
-		prev := len(src) + 1
-		for _, e := range edits {
-			if e.end > prev || e.start > e.end || e.end > len(src) {
-				continue // overlapping or out-of-range edit: skip
+		src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+		prev = e.start
+		applied++
+	}
+	return src, applied
+}
+
+// FixedSources computes the result of applying every suggested fix in
+// fs without touching disk: filename → new contents, only for files
+// with at least one applied edit. Tests use it to check fix output
+// (and re-run analysis over it) against golden files.
+func FixedSources(fs []Finding) (map[string][]byte, int, error) {
+	return FixedSourcesFrom(fs, nil)
+}
+
+// FixedSourcesFrom is FixedSources reading input from overlay first
+// and disk second, so a test can apply fixes to already-fixed sources
+// (the idempotency check) without writing them anywhere.
+func FixedSourcesFrom(fs []Finding, overlay map[string][]byte) (map[string][]byte, int, error) {
+	out := map[string][]byte{}
+	applied := 0
+	for name, edits := range collectEdits(fs) {
+		src, ok := overlay[name]
+		if !ok {
+			var err error
+			src, err = os.ReadFile(name)
+			if err != nil {
+				return nil, applied, err
 			}
-			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
-			prev = e.start
-			applied++
 		}
+		fixed, n := applyEdits(src, edits)
+		if n > 0 {
+			out[name] = fixed
+			applied += n
+		}
+	}
+	return out, applied, nil
+}
+
+// ApplyFixes applies every suggested fix carried by fs to the files on
+// disk. It returns the number of edits applied.
+func ApplyFixes(fs []Finding) (int, error) {
+	fixed, applied, err := FixedSources(fs)
+	if err != nil {
+		return applied, err
+	}
+	for name, src := range fixed {
 		if err := os.WriteFile(name, src, 0o644); err != nil {
 			return applied, err
 		}

@@ -36,6 +36,10 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Deps lists the transitive import paths of the package (from
+	// `go list -deps`), used to scope fact visibility in the
+	// standalone driver. Nil when the loader does not know.
+	Deps []string
 }
 
 // ParseFiles parses the named Go files into fset, keeping comments
@@ -55,6 +59,13 @@ func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
 // TypeCheck type-checks files as package path, resolving imports
 // through lookup. goVersion may be empty.
 func TypeCheck(fset *token.FileSet, path string, files []*ast.File, lookup ExportLookup, goVersion string) (*Package, error) {
+	imp := unsafeAware{importer.ForCompiler(fset, "gc", importer.Lookup(lookup))}
+	return TypeCheckImporter(fset, path, files, imp, goVersion)
+}
+
+// TypeCheckImporter is TypeCheck with a caller-supplied types.Importer,
+// for front ends (analysistest) that resolve some imports from source.
+func TypeCheckImporter(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -64,7 +75,7 @@ func TypeCheck(fset *token.FileSet, path string, files []*ast.File, lookup Expor
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	cfg := types.Config{
-		Importer: unsafeAware{importer.ForCompiler(fset, "gc", importer.Lookup(lookup))},
+		Importer: imp,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
 	if goVersion != "" && !strings.HasPrefix(goVersion, "go1.") && goVersion != "go1" {

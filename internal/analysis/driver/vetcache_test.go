@@ -1,0 +1,142 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetFactsRoundTrip proves the facts protocol end to end under
+// `go vet -vettool`: a temp module has two kind packages registering
+// the same sketch tag and a blank-import aggregator; the collision is
+// only detectable by combining RegisteredKind facts from two separate
+// compilation units, so it appearing at all shows facts flow through
+// .vetx files. The second run re-analyzes only the (touched)
+// aggregator, whose dependencies' facts now come from go's vet cache —
+// the collision surviving that run is the round-trip.
+func TestVetFactsRoundTrip(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "unionlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/unionlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building unionlint: %v\n%s", err, out)
+	}
+
+	tmod := t.TempDir()
+	writeTree(t, tmod, map[string]string{
+		"go.mod": "module tmod\n\ngo 1.22\n",
+		"internal/sketch/sketch.go": `package sketch
+
+import "errors"
+
+type Kind uint8
+
+var (
+	ErrMismatch    = errors.New("sketch: mismatch")
+	ErrCorrupt     = errors.New("sketch: corrupt")
+	ErrUnknownKind = errors.New("sketch: unknown kind")
+)
+
+type Sketch interface{ Kind() Kind }
+
+type KindInfo struct {
+	Kind    Kind
+	Name    string
+	Version uint8
+	New     func() Sketch
+	Decode  func([]byte) (Sketch, error)
+}
+
+func Register(info KindInfo) {}
+`,
+		"internal/sketch/a/a.go": kindPackage("a", "alpha"),
+		"internal/sketch/b/b.go": kindPackage("b", "beta"),
+		"agg/agg.go": `// Package agg blank-imports every kind, like the real
+// internal/sketch/kinds aggregator.
+package agg
+
+import (
+	_ "tmod/internal/sketch/a"
+	_ "tmod/internal/sketch/b"
+)
+`,
+	})
+
+	vet := func() string {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = tmod
+		out, _ := cmd.CombinedOutput()
+		return string(out)
+	}
+
+	const collision = "sketch kind tag 1 registered by both tmod/internal/sketch/a and tmod/internal/sketch/b"
+	out1 := vet()
+	if !strings.Contains(out1, collision) {
+		t.Fatalf("first vet run: collision not reported\noutput:\n%s", out1)
+	}
+	// Rewrite the aggregator (content change, so its vet action re-runs)
+	// without touching a or b: their RegisteredKind facts must now come
+	// back out of the cached .vetx files.
+	agg := filepath.Join(tmod, "agg", "agg.go")
+	src, err := os.ReadFile(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(agg, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2 := vet()
+	if !strings.Contains(out2, collision) {
+		t.Fatalf("second vet run: collision lost after cache round-trip\noutput:\n%s", out2)
+	}
+}
+
+// kindPackage renders a kind package that is clean under kindcheck
+// except for its tag choice: both generated packages use tag 1.
+func kindPackage(pkg, name string) string {
+	return `package ` + pkg + `
+
+import (
+	"fmt"
+
+	"tmod/internal/sketch"
+)
+
+const (
+	kindTag     sketch.Kind = 1
+	kindName                = "` + name + `"
+	kindVersion             = 1
+)
+
+func init() {
+	sketch.Register(sketch.KindInfo{Kind: kindTag, Name: kindName, Version: kindVersion})
+}
+
+// wrap keeps the typed sentinels in use, as kindcheck requires.
+func wrap() error {
+	return fmt.Errorf("%w: %w", sketch.ErrMismatch, sketch.ErrCorrupt)
+}
+
+var _ = wrap
+`
+}
+
+// writeTree writes files (path → contents) under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for path, contents := range files {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,15 @@
 //     flattening, pre-chewed);
 //   - == / != comparisons of err.Error() strings (string matching;
 //     use errors.Is).
+//
+// Multi-error wrapping is part of the contract, not a violation:
+// fmt.Errorf with several %w verbs (legal since Go 1.20) and
+// errors.Join both preserve every branch of the chain for errors.Is,
+// so neither is flagged — but a joined error formatted with %v is,
+// like any other error: the server's drain path may combine a context
+// error with per-connection close errors, and the combined chain must
+// survive to the caller. Indexed directives (%[1]v) are parsed and
+// checked against the argument they actually select.
 package errcontract
 
 import (
@@ -94,21 +103,18 @@ func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
 	if !ok || lit.Kind != token.STRING {
 		return
 	}
-	verbs := parseVerbs(lit.Value)
-	for i, arg := range call.Args[1:] {
-		if i >= len(verbs) {
-			break
-		}
+	for _, arg := range call.Args[1:] {
 		if isErrorDotError(pass, arg) {
 			pass.Reportf(arg.Pos(),
 				"err.Error() passed to fmt.Errorf flattens the error chain; pass the error itself with %%w so errors.Is keeps working across the wire/client boundary")
+		}
+	}
+	for _, v := range parseVerbs(lit.Value) {
+		if v.verb == 'w' || v.argIndex >= len(call.Args)-1 {
 			continue
 		}
-		if !isErrorTyped(pass, arg) {
-			continue
-		}
-		v := verbs[i]
-		if v.verb == 'w' {
+		arg := call.Args[1+v.argIndex]
+		if isErrorDotError(pass, arg) || !isErrorTyped(pass, arg) {
 			continue
 		}
 		d := analysis.Diagnostic{
@@ -168,16 +174,22 @@ func isErrorDotError(pass *analysis.Pass, e ast.Expr) bool {
 // verb is one % directive located in the *raw source text* of a string
 // literal (offsets index lit.Value, quotes included). Scanning raw
 // text is sound because '%' is never produced by an escape sequence.
+// argIndex is the 0-based format argument the directive consumes,
+// accounting for explicit indexes (%[2]v selects argument 1, and the
+// following unindexed directive continues from argument 2, as in fmt).
 type verb struct {
 	rawStart, rawEnd int // [start, end) of the whole directive in the raw literal
 	verb             rune
+	argIndex         int
 }
 
-// parseVerbs scans a string literal's source text for fmt directives,
-// in argument order (%% consumed, indexed-argument forms like %[1]v
-// are not handled and stop the scan — none appear in this codebase).
+// parseVerbs scans a string literal's source text for fmt directives
+// (%% consumed; a malformed explicit index stops the scan
+// conservatively, as does a *-width, which would shift the argument
+// mapping — neither appears in this codebase).
 func parseVerbs(raw string) []verb {
 	var out []verb
+	next := 0
 	for i := 0; i < len(raw); i++ {
 		if raw[i] != '%' {
 			continue
@@ -191,13 +203,26 @@ func parseVerbs(raw string) []verb {
 		for i < len(raw) && strings.ContainsRune("+-# 0123456789.", rune(raw[i])) {
 			i++
 		}
+		if i < len(raw) && raw[i] == '*' {
+			return out // *-width consumes an argument: bail out
+		}
+		if i < len(raw) && raw[i] == '[' {
+			j, n := i+1, 0
+			for j < len(raw) && raw[j] >= '0' && raw[j] <= '9' {
+				n = n*10 + int(raw[j]-'0')
+				j++
+			}
+			if j >= len(raw) || raw[j] != ']' || n == 0 {
+				return out // malformed index: bail out
+			}
+			next = n - 1
+			i = j + 1
+		}
 		if i >= len(raw) {
 			break
 		}
-		if raw[i] == '[' {
-			return out // indexed argument: bail out conservatively
-		}
-		out = append(out, verb{rawStart: start, rawEnd: i + 1, verb: rune(raw[i])})
+		out = append(out, verb{rawStart: start, rawEnd: i + 1, verb: rune(raw[i]), argIndex: next})
+		next++
 	}
 	return out
 }

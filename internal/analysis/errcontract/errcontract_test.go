@@ -13,3 +13,10 @@ func TestErrcontract(t *testing.T) {
 		"repro/internal/report/logfmt", // out of scope: silent
 	)
 }
+
+// TestErrcontractFixes pins the -fix pipeline end to end: suggested
+// fixes produce the golden tree, the fixed tree compiles, and a second
+// application is a no-op.
+func TestErrcontractFixes(t *testing.T) {
+	analysistest.RunFixes(t, "testdata", errcontract.Analyzer, "repro/internal/wire/fixme")
+}

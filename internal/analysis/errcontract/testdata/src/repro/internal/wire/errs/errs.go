@@ -49,3 +49,34 @@ func MatchGood(err error) bool {
 func NonError(n int, s string) error {
 	return fmt.Errorf("count %d at %q", n, s)
 }
+
+// WrapBoth wraps two causes with two %w verbs (legal since Go 1.20);
+// the server drain path combines a context error with close errors
+// this way, and both chains survive.
+func WrapBoth(drain, closeErr error) error {
+	return fmt.Errorf("drain: %w; close: %w", drain, closeErr)
+}
+
+// JoinGood combines errors without losing either chain: allowed.
+func JoinGood(a, b error) error {
+	return errors.Join(a, b)
+}
+
+// JoinFlattened formats a joined chain with %v: the combined chain is
+// an error like any other, and flattening it breaks errors.Is on
+// every branch at once.
+func JoinFlattened(a, b error) error {
+	return fmt.Errorf("drain: %v", errors.Join(a, b)) // want "error formatted with %v loses the error chain"
+}
+
+// IndexedGood selects arguments explicitly; the error is wrapped, the
+// indexed string verb targets a non-error, so nothing is flagged.
+func IndexedGood(err error, op string) error {
+	return fmt.Errorf("%[2]s: %[1]w", err, op)
+}
+
+// IndexedFlatten selects the error by index and flattens it: the
+// directive is checked against the argument it actually consumes.
+func IndexedFlatten(err error) error {
+	return fmt.Errorf("op %[1]v", err) // want "error formatted with %v loses the error chain"
+}

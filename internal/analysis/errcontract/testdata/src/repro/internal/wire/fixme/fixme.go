@@ -1,0 +1,28 @@
+// Package fixme is the -fix golden package: every diagnostic below
+// carries a mechanical suggested fix, the fixed tree must match
+// fixme.go.golden, still compile, and re-fixing must change nothing.
+package fixme
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFrame stands in for the real wire sentinels.
+var ErrFrame = errors.New("fixme: bad frame")
+
+// Wrap flattens with %v; -fix rewrites it to %w.
+func Wrap(err error) error {
+	return fmt.Errorf("read frame: %v", err)
+}
+
+// WrapMixed wraps the sentinel but flattens the cause with %s.
+func WrapMixed(err error) error {
+	return fmt.Errorf("%w: truncated: %s", ErrFrame, err)
+}
+
+// WrapIndexed flattens through an explicit index; the index survives
+// the rewrite.
+func WrapIndexed(err error) error {
+	return fmt.Errorf("op %[1]v", err)
+}

@@ -1,28 +1,38 @@
 package errcontract
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestParseVerbs pins the raw-literal scanner: ordering, %% skipping,
-// flag/width handling, and the conservative bail-out on indexed args.
+// flag/width handling, explicit argument indexes, multiple %w verbs,
+// and the conservative bail-outs.
 func TestParseVerbs(t *testing.T) {
 	cases := []struct {
 		raw   string
-		verbs string // concatenated verb runes, in argument order
+		verbs string // concatenated verb runes, in scan order
+		args  string // the argIndex of each verb, as digits
 	}{
-		{`"plain"`, ""},
-		{`"a %v b"`, "v"},
-		{`"%w: %v"`, "wv"},
-		{`"100%% done: %s"`, "s"},
-		{`"%+v %-8s %.2f %03d"`, "vsfd"},
-		{`"%[1]v %v"`, ""}, // indexed form: scan stops
+		{`"plain"`, "", ""},
+		{`"a %v b"`, "v", "0"},
+		{`"%w: %v"`, "wv", "01"},
+		{`"%w; %w"`, "ww", "01"}, // multi-error wrapping, Go 1.20+
+		{`"100%% done: %s"`, "s", "0"},
+		{`"%+v %-8s %.2f %03d"`, "vsfd", "0123"},
+		{`"%[1]v %v"`, "vv", "01"}, // index then continue from it
+		{`"%[3]s %s %[1]w"`, "ssw", "230"},
+		{`"%[x]v"`, "", ""},  // malformed index: scan stops
+		{`"%*d %v"`, "", ""}, // *-width shifts arguments: scan stops
 	}
 	for _, c := range cases {
-		got := ""
+		got, idx := "", ""
 		for _, v := range parseVerbs(c.raw) {
 			got += string(v.verb)
+			idx += fmt.Sprint(v.argIndex)
 		}
-		if got != c.verbs {
-			t.Errorf("parseVerbs(%s) = %q, want %q", c.raw, got, c.verbs)
+		if got != c.verbs || idx != c.args {
+			t.Errorf("parseVerbs(%s) = %q/%q, want %q/%q", c.raw, got, idx, c.verbs, c.args)
 		}
 	}
 }
@@ -37,5 +47,19 @@ func TestRewriteVerb(t *testing.T) {
 	fixed, ok := rewriteVerb(raw, verbs[1], 'w')
 	if !ok || fixed != `"%w: truncated: %w"` {
 		t.Fatalf("rewriteVerb = %q, %v; want %q, true", fixed, ok, `"%w: truncated: %w"`)
+	}
+}
+
+// TestRewriteVerbIndexed pins the rewrite on an indexed directive: the
+// index is kept, only the verb rune changes.
+func TestRewriteVerbIndexed(t *testing.T) {
+	raw := `"op %[1]v"`
+	verbs := parseVerbs(raw)
+	if len(verbs) != 1 {
+		t.Fatalf("parseVerbs(%s): got %d verbs, want 1", raw, len(verbs))
+	}
+	fixed, ok := rewriteVerb(raw, verbs[0], 'w')
+	if !ok || fixed != `"op %[1]w"` {
+		t.Fatalf("rewriteVerb = %q, %v; want %q, true", fixed, ok, `"op %[1]w"`)
 	}
 }

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// A Fact is a typed datum an analyzer attaches to a package or to a
+// package-level object, visible to later analysis of any package that
+// imports the fact's package (directly or transitively). Facts are how
+// unionlint enforces whole-program invariants — "kind tag 7 is never
+// reused", "every AckCode is classified" — one package at a time:
+// an analyzer running on internal/sketch/fm exports a fact recording
+// the kind it registered, and the analyzer running on the blank-import
+// aggregator internal/sketch/kinds sees every such fact and can reject
+// a duplicate tag without ever loading two kind packages at once.
+//
+// Facts must be pointers to gob-serializable structs (drivers move
+// them between compilation units as gob streams, mirroring the go
+// vet facts protocol), must not contain token.Pos values (positions
+// do not survive re-loading), and must be declared in the analyzer's
+// FactTypes so drivers can register their concrete types for decoding.
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// A PackageFact pairs a fact with the import path of the package it
+// describes.
+type PackageFact struct {
+	Path string
+	Fact Fact
+}
+
+// An ObjectFact pairs a fact with the package-level object it
+// describes, identified by import path and object path (see
+// ObjectPath).
+type ObjectFact struct {
+	Path   string // import path of the object's package
+	Object string // object path within the package
+	Fact   Fact
+}
+
+// FactContext is the driver-provided view of the fact store for one
+// pass: facts exported here become visible to passes over importing
+// packages, and facts imported here come from the transitive imports
+// of the package under analysis. A nil FactContext (analyzer run by a
+// driver predating facts) makes every import report false and every
+// export a no-op; the Pass methods below encode that tolerance.
+type FactContext interface {
+	// ImportPackageFact copies the fact of fact's concrete type
+	// attached to the package with the given import path into fact,
+	// reporting whether one existed.
+	ImportPackageFact(path string, fact Fact) bool
+	// ExportPackageFact attaches fact to the package under analysis,
+	// replacing any existing fact of the same concrete type.
+	ExportPackageFact(fact Fact)
+	// ImportObjectFact copies the fact attached to obj into fact,
+	// reporting whether one existed. obj may belong to any visible
+	// package, including the one under analysis.
+	ImportObjectFact(obj types.Object, fact Fact) bool
+	// ExportObjectFact attaches fact to obj, which must belong to the
+	// package under analysis and have a derivable ObjectPath.
+	ExportObjectFact(obj types.Object, fact Fact)
+	// AllPackageFacts returns every visible package fact, in
+	// deterministic order.
+	AllPackageFacts() []PackageFact
+	// AllObjectFacts returns every visible object fact, in
+	// deterministic order.
+	AllObjectFacts() []ObjectFact
+}
+
+// ImportPackageFact reads a fact attached to the package with the
+// given import path; see FactContext.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportPackageFact(path, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Facts != nil {
+		p.Facts.ExportPackageFact(fact)
+	}
+}
+
+// ImportObjectFact reads a fact attached to obj; see FactContext.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportObjectFact(obj, fact)
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the
+// package under analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts != nil {
+		p.Facts.ExportObjectFact(obj, fact)
+	}
+}
+
+// AllPackageFacts returns every visible package fact.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.AllPackageFacts()
+}
+
+// AllObjectFacts returns every visible object fact.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.AllObjectFacts()
+}
+
+// ObjectPath encodes a stable, serializable name for a package-level
+// object, usable to find the same object in a re-imported copy of its
+// package. It is a deliberately small subset of x/tools' objectpath:
+//
+//   - a package-level const, var, func, or type is its name ("Register");
+//   - a method of a package-level named type is "Type.Method"
+//     ("Sampler.Merge"), regardless of pointer receivers.
+//
+// Objects outside those shapes (locals, struct fields, interface
+// methods, instantiated generics) are not supported and report false —
+// the unionlint fact-driven analyzers only need the two shapes above.
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return "", false
+		}
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		return named.Obj().Name() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// FindObject resolves an ObjectPath within pkg, returning nil when the
+// path names nothing there.
+func FindObject(pkg *types.Package, path string) types.Object {
+	if pkg == nil || path == "" {
+		return nil
+	}
+	typeName, method, isMethod := strings.Cut(path, ".")
+	obj := pkg.Scope().Lookup(typeName)
+	if !isMethod {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m
+		}
+	}
+	return nil
+}
+
+// TrimPkgPath strips the test-variant suffix ("pkg [pkg.test]") from a
+// package path so facts exported from a test compilation land under
+// the same key as the plain package.
+func TrimPkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}

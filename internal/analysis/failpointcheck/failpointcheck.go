@@ -1,0 +1,166 @@
+// Package failpointcheck keeps the fault-injection registry honest:
+// every failpoint name that production or test code arms, injects, or
+// queries must resolve to a site constant declared in the failpoint
+// package itself (internal/failpoint).
+//
+// The registry is string-keyed and process-global, so nothing at
+// runtime stops a test from enabling "sever/accept" (note the typo)
+// and then waiting forever for hits that never come: the production
+// code injects "server/accept". The declaring package exports a
+// DeclaredSites package fact (the sorted site names); user packages
+// check each Inject/Enable/Disable/Hits name argument against it.
+//
+// Rules:
+//
+//   - in the declaring package, no two site constants may share a
+//     string value (two names for one site defeats "named point");
+//   - everywhere else, the name argument must be a compile-time
+//     constant whose value is a declared site. A non-constant name is
+//     tolerated in _test.go files (the chaos suites range over slices
+//     of declared sites); in production code it is an error outright.
+package failpointcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DeclaredSites is the package fact the failpoint package exports: the
+// sorted string values of its site constants.
+type DeclaredSites struct {
+	Sites []string
+}
+
+// AFact marks DeclaredSites as a fact type.
+func (*DeclaredSites) AFact() {}
+
+// Analyzer is the failpointcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "failpointcheck",
+	Doc: "require every failpoint name at arm/inject sites to resolve to a site constant " +
+		"declared in the failpoint package",
+	FactTypes: []analysis.Fact{(*DeclaredSites)(nil)},
+	Run:       run,
+}
+
+// failpointPath reports whether path is the failpoint registry package.
+func failpointPath(path string) bool {
+	return path == "internal/failpoint" || strings.HasSuffix(path, "/internal/failpoint")
+}
+
+// siteFuncs are the failpoint functions whose first argument is a site
+// name.
+var siteFuncs = map[string]bool{
+	"Inject":  true,
+	"Enable":  true,
+	"Disable": true,
+	"Hits":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if failpointPath(pass.PkgPath()) {
+		checkDeclarations(pass)
+		return nil
+	}
+	checkUses(pass)
+	return nil
+}
+
+// checkDeclarations collects the declaring package's exported string
+// constants as the site set, reports duplicate site values, and
+// exports the DeclaredSites fact.
+func checkDeclarations(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	byValue := map[string]string{} // site value -> first constant name
+	var sites []string
+	for _, name := range scope.Names() { // sorted, so reports are deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		if first, dup := byValue[v]; dup {
+			pass.Reportf(c.Pos(),
+				"failpoint sites %s and %s share the value %q; every site must be one distinct named point",
+				first, name, v)
+			continue
+		}
+		byValue[v] = name
+		sites = append(sites, v)
+	}
+	if len(sites) == 0 {
+		return
+	}
+	sort.Strings(sites)
+	pass.ExportPackageFact(&DeclaredSites{Sites: sites})
+}
+
+// checkUses validates the name argument of every failpoint call in a
+// user package against the declaring package's DeclaredSites fact.
+func checkUses(pass *analysis.Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !failpointPath(fn.Pkg().Path()) ||
+			!siteFuncs[fn.Name()] || len(call.Args) < 1 {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			// Non-constant name: fine in tests (chaos suites range over
+			// slices of declared sites), an error in production code.
+			if !pass.IsTestFile(arg.Pos()) {
+				pass.Reportf(arg.Pos(),
+					"failpoint name passed to %s must be a site constant declared in %s; a computed name cannot be checked against the declared sites",
+					fn.Name(), fn.Pkg().Path())
+			}
+			return true
+		}
+		var decl DeclaredSites
+		if !pass.ImportPackageFact(fn.Pkg().Path(), &decl) {
+			return true // driver without facts; nothing to check against
+		}
+		name := constant.StringVal(tv.Value)
+		if !contains(decl.Sites, name) {
+			pass.Reportf(arg.Pos(),
+				"failpoint name %q does not resolve to a declared site; sites are the exported string constants of %s",
+				name, fn.Pkg().Path())
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's callee to a *types.Func, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return f
+}
+
+// contains reports whether sorted has v (the site lists are tiny, so a
+// linear scan is fine and avoids assuming sortedness).
+func contains(sorted []string, v string) bool {
+	for _, s := range sorted {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

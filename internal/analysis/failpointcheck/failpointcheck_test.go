@@ -1,0 +1,27 @@
+package failpointcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/failpointcheck"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestFailpointcheck(t *testing.T) {
+	analysistest.Run(t, testdata(t), failpointcheck.Analyzer,
+		"repro/internal/failpoint",
+		"repro/bad/internal/failpoint",
+		"repro/use/good",
+		"repro/use/bad",
+	)
+}

@@ -1,0 +1,11 @@
+// Package failpoint aliases one site under two names, which defeats
+// "a failpoint is one named point".
+package failpoint
+
+const (
+	AcceptAlias  = "server/accept"
+	ServerAccept = "server/accept" // want "failpoint sites AcceptAlias and ServerAccept share the value \"server/accept\""
+	ClientDial   = "client/dial"
+)
+
+func Inject(name string) error { return nil }

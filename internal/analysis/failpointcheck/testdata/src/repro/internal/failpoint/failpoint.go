@@ -1,0 +1,19 @@
+// Package failpoint is a stub of the real fault-injection registry:
+// distinct named sites, so failpointcheck has a DeclaredSites fact to
+// export and nothing to report here.
+package failpoint
+
+// The injection sites.
+const (
+	ServerAccept = "server/accept"
+	ClientDial   = "client/dial"
+	WireEncode   = "wire/encode"
+)
+
+// A Hook decides what an armed site does on each hit.
+type Hook func() error
+
+func Inject(name string) error   { return nil }
+func Enable(name string, h Hook) {}
+func Disable(name string)        {}
+func Hits(name string) int64     { return 0 }

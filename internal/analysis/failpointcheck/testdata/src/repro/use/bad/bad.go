@@ -1,0 +1,17 @@
+// Package bad misnames one site and computes another in production
+// code.
+package bad
+
+import "repro/internal/failpoint"
+
+func siteName() string { return "server/accept" }
+
+func serve() error {
+	if err := failpoint.Inject("server/acept"); err != nil { // want "failpoint name \"server/acept\" does not resolve to a declared site"
+		return err
+	}
+	failpoint.Enable(siteName(), func() error { return nil }) // want "failpoint name passed to Enable must be a site constant"
+	return nil
+}
+
+var _ = serve

@@ -1,0 +1,15 @@
+package bad
+
+import "repro/internal/failpoint"
+
+// A test may range over declared sites with a variable name; the
+// chaos suites do exactly this, so no diagnostic here.
+func chaos() {
+	for _, site := range []string{failpoint.ServerAccept, failpoint.ClientDial} {
+		failpoint.Enable(site, func() error { return nil })
+		failpoint.Disable(site)
+	}
+	failpoint.Hits("client/dail") // want "failpoint name \"client/dail\" does not resolve to a declared site"
+}
+
+var _ = chaos

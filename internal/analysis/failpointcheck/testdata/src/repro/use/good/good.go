@@ -1,0 +1,22 @@
+// Package good uses only declared failpoint sites, by direct constant
+// reference and through a local constant alias.
+package good
+
+import "repro/internal/failpoint"
+
+const drainSite = failpoint.ClientDial
+
+func serve() error {
+	if err := failpoint.Inject(failpoint.ServerAccept); err != nil {
+		return err
+	}
+	failpoint.Enable(failpoint.WireEncode, func() error { return nil })
+	defer failpoint.Disable(failpoint.WireEncode)
+	if err := failpoint.Inject(drainSite); err != nil {
+		return err
+	}
+	_ = failpoint.Hits("wire/encode") // a literal is fine if it names a declared site
+	return nil
+}
+
+var _ = serve

@@ -17,9 +17,10 @@
 // the source files; override with -hotpathalloc.baseline). A finding
 // is only reported when a (package, function, kind) key exceeds its
 // baselined count, so the analyzer gates new debt without forcing a
-// rewrite of the old. Regenerate with:
+// rewrite of the old. The baseline is generated, not hand-edited;
+// regenerate with:
 //
-//	unionlint -hotpathalloc.write ./...
+//	unionlint -hotpathalloc.update ./...
 //
 // _test.go files are skipped.
 package hotpathalloc

@@ -1,0 +1,41 @@
+package kindcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kindcheck"
+)
+
+func testdata(t *testing.T) string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestKindcheck(t *testing.T) {
+	analysistest.Run(t, testdata(t), kindcheck.Analyzer,
+		"repro/internal/sketch/good",
+		"repro/internal/sketch/twice",
+		"repro/internal/sketch/tagzero",
+		"repro/internal/sketch/wrapverb",
+		"repro/internal/sketch/mixedrecv",
+		"repro/internal/sketch/nonconst",
+		"repro/internal/sketch/kinds",
+	)
+}
+
+func TestKindcheckWire(t *testing.T) {
+	analysistest.Run(t, testdata(t), kindcheck.Analyzer, "repro/internal/wire")
+}
+
+func TestKindcheckRetired(t *testing.T) {
+	f := kindcheck.Analyzer.Lookup("retired")
+	old := f.Value
+	f.Value = "9=legacy envelope tag"
+	defer func() { f.Value = old }()
+	analysistest.Run(t, testdata(t), kindcheck.Analyzer, "repro/internal/sketch/retiredpkg")
+}

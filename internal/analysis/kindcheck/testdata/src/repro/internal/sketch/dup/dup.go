@@ -1,0 +1,25 @@
+// Package dup registers the same tag as package good. Locally it is
+// clean — the collision only becomes visible (and is reported) in the
+// aggregator package that imports both.
+package dup
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("dup: decode: %w", sketch.ErrCorrupt)
+	}
+	return fmt.Errorf("dup: merge: %w", sketch.ErrMismatch)
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{
+		Kind:    1, // same tag as repro/internal/sketch/good
+		Name:    "dup",
+		Version: 1,
+	})
+}

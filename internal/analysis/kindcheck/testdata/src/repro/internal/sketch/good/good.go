@@ -1,0 +1,47 @@
+// Package good is a well-behaved kind package: one keyed constant
+// registration, both sentinels wrapped with %w, pointer receivers
+// throughout. kindcheck must stay silent here.
+package good
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+const kindGood sketch.Kind = 1
+
+type G struct{ n uint64 }
+
+func (g *G) Process(x uint64)               { g.n++ }
+func (g *G) Estimate() float64              { return float64(g.n) }
+func (g *G) MarshalBinary() ([]byte, error) { return nil, nil }
+func (g *G) Kind() sketch.Kind              { return kindGood }
+func (g *G) Seed() uint64                   { return 0 }
+func (g *G) Digest() uint64                 { return 0 }
+
+func (g *G) Merge(o sketch.Sketch) error {
+	og, ok := o.(*G)
+	if !ok {
+		return fmt.Errorf("good: cannot merge %T: %w", o, sketch.ErrMismatch)
+	}
+	g.n += og.n
+	return nil
+}
+
+func decode(data []byte) (sketch.Sketch, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("good: empty payload: %w", sketch.ErrCorrupt)
+	}
+	return &G{}, nil
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{
+		Kind:    kindGood,
+		Name:    "good",
+		Version: 1,
+		New:     func(eps float64, seed uint64) sketch.Sketch { return &G{} },
+		Decode:  decode,
+	})
+}

@@ -1,0 +1,9 @@
+// Package kinds mirrors the real blank-import aggregator: the one
+// package that imports every kind package, and therefore the place
+// where cross-package tag collisions surface.
+package kinds
+
+import (
+	_ "repro/internal/sketch/dup"
+	_ "repro/internal/sketch/good" // want "sketch kind tag 1 registered by both repro/internal/sketch/dup and repro/internal/sketch/good"
+)

@@ -1,0 +1,28 @@
+// Package mixedrecv implements the sketch interface with one value
+// receiver among pointer receivers: *M satisfies the interface but a
+// capability assertion on M silently fails.
+package mixedrecv
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+type M struct{ n uint64 }
+
+func (m *M) Process(x uint64)               { m.n++ }
+func (m *M) Estimate() float64              { return float64(m.n) }
+func (m *M) MarshalBinary() ([]byte, error) { return nil, nil }
+func (m *M) Kind() sketch.Kind              { return 4 }
+func (m M) Merge(o sketch.Sketch) error { // want "method M.Merge uses a value receiver while other sketch interface methods use pointer receivers"
+	return fmt.Errorf("mixedrecv: %w", sketch.ErrMismatch)
+}
+
+func wrap() error {
+	return fmt.Errorf("mixedrecv: %w", sketch.ErrCorrupt)
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{Kind: 4, Name: "mixedrecv", Version: 1})
+}

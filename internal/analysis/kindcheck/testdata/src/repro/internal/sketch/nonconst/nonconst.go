@@ -1,0 +1,26 @@
+// Package nonconst computes its tag at run time; tags are wire-stable
+// and must be compile-time constants.
+package nonconst
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+var nextTag sketch.Kind = 6
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("nonconst: decode: %w", sketch.ErrCorrupt)
+	}
+	return fmt.Errorf("nonconst: merge: %w", sketch.ErrMismatch)
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{ // want "sketch kind tag must be a constant"
+		Kind:    nextTag,
+		Name:    "nonconst",
+		Version: 1,
+	})
+}

@@ -1,0 +1,33 @@
+// Package sketch is a stub of the real registry for kindcheck's
+// golden tests: same names, no behavior.
+package sketch
+
+import "errors"
+
+type Kind uint8
+
+var (
+	ErrMismatch    = errors.New("sketch: mismatch")
+	ErrCorrupt     = errors.New("sketch: corrupt")
+	ErrUnknownKind = errors.New("sketch: unknown kind")
+)
+
+type Sketch interface {
+	Process(x uint64)
+	Estimate() float64
+	Merge(o Sketch) error
+	MarshalBinary() ([]byte, error)
+	Kind() Kind
+	Seed() uint64
+	Digest() uint64
+}
+
+type KindInfo struct {
+	Kind    Kind
+	Name    string
+	Version uint8
+	New     func(eps float64, seed uint64) Sketch
+	Decode  func(data []byte) (Sketch, error)
+}
+
+func Register(info KindInfo) {}

@@ -1,0 +1,22 @@
+// Package tagzero registers the reserved zero tag and omits the name
+// and version.
+package tagzero
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("tagzero: decode: %w", sketch.ErrCorrupt)
+	}
+	return fmt.Errorf("tagzero: merge: %w", sketch.ErrMismatch)
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{ // want "sketch kind name must be a non-empty constant string" "sketch kind version must be a positive constant"
+		Kind: sketch.Kind(0), // want "sketch kind tag 0 is reserved"
+	})
+}

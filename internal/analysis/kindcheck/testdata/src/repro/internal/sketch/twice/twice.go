@@ -1,0 +1,21 @@
+// Package twice registers two kinds; a kind package must register
+// exactly one.
+package twice
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("twice: decode: %w", sketch.ErrCorrupt)
+	}
+	return fmt.Errorf("twice: merge: %w", sketch.ErrMismatch)
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{Kind: 2, Name: "twice-a", Version: 1})
+	sketch.Register(sketch.KindInfo{Kind: 5, Name: "twice-b", Version: 1}) // want "package registers 2 sketch kinds; each kind package must register exactly one"
+}

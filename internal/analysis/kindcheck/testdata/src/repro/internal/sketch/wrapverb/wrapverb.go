@@ -1,0 +1,20 @@
+// Package wrapverb wraps sketch.ErrMismatch with %v, which strips the
+// sentinel from the errors.Is chain.
+package wrapverb
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrapverb: decode: %w", sketch.ErrCorrupt)
+	}
+	return fmt.Errorf("wrapverb: merge: %v", sketch.ErrMismatch) // want "sketch.ErrMismatch formatted with %v; wrap with %w so errors.Is classification survives"
+}
+
+func init() {
+	sketch.Register(sketch.KindInfo{Kind: 3, Name: "wrapverb", Version: 1})
+}

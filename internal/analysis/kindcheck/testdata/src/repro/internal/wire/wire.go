@@ -1,0 +1,15 @@
+// Package wire is a stub of the real framing package: kindcheck must
+// reject new MsgType constants that reuse the retired frame type 7
+// while exempting the unexported bound sentinel.
+package wire
+
+type MsgType uint8
+
+const (
+	MsgPush    MsgType = 1
+	MsgQuery   MsgType = 2
+	MsgRevived MsgType = 7 // want "frame type 7 \\(MsgOpaque\\) is retired and must never be reused"
+	maxMsgType MsgType = 8
+)
+
+var _ = maxMsgType

@@ -1,0 +1,29 @@
+package mergepure_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mergepure"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestMergepure(t *testing.T) {
+	analysistest.Run(t, testdata(t), mergepure.Analyzer,
+		"repro/internal/core/clean",
+		"repro/internal/core/impure",
+		"repro/internal/core/maprange",
+		"repro/internal/core/impuredep",
+		"repro/internal/core/caller",
+		"repro/outside",
+	)
+}

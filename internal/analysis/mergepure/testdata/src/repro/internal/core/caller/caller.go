@@ -1,0 +1,15 @@
+// Package caller reaches nondeterminism only through another
+// package's exported function; the Impure fact carries the reason
+// across the import edge.
+package caller
+
+import "repro/internal/core/impuredep"
+
+type X struct {
+	at int64
+}
+
+func (x *X) MergeFrom(other *X) error {
+	x.at = impuredep.Stamp() // want "MergeFrom must be deterministic \\(merge/estimate contract\\) but calls impuredep.Stamp, which calls time.Now"
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package impuredep exports an impure function with no root name: it
+// is not reported here, but its Impure fact follows the import edge.
+package impuredep
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

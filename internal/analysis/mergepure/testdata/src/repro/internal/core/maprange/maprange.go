@@ -1,0 +1,38 @@
+// Package maprange holds the map-iteration-order leaks: last-write-
+// wins assignment, floating-point accumulation, and unsorted append.
+package maprange
+
+type S struct {
+	entries map[uint64]float64
+	last    float64
+	max     float64
+}
+
+func (s *S) MergeCounts(other map[uint64]float64) {
+	n := 0
+	for k, v := range other {
+		s.entries[k] = v // keyed writes commute; never flagged
+		s.last = v       // want "assignment to s.last inside a map range is last-write-wins"
+		if v > s.max {
+			s.max = v // guarded extremum idiom; never flagged
+		}
+		n++
+	}
+	_ = n
+}
+
+func (s *S) EstimateMean() float64 {
+	var sum float64
+	for _, v := range s.entries {
+		sum += v // want "floating-point accumulation into sum in map-range order is nondeterministic"
+	}
+	return sum / float64(len(s.entries))
+}
+
+func (s *S) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, byte(k)) // want "append to out inside a map range leaks map iteration order"
+	}
+	return out, nil
+}

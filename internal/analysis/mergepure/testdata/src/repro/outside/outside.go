@@ -1,0 +1,14 @@
+// Package outside sits outside -mergepure.scope: the same clock call
+// on a root produces no diagnostic here (but the fact still exports).
+package outside
+
+import "time"
+
+type S struct {
+	at int64
+}
+
+func (s *S) Merge(other *S) error {
+	s.at = time.Now().UnixNano()
+	return nil
+}

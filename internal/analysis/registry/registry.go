@@ -6,20 +6,28 @@ package registry
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/ackcontract"
 	"repro/internal/analysis/errcontract"
+	"repro/internal/analysis/failpointcheck"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/kindcheck"
 	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/mergepure"
 	"repro/internal/analysis/seedcheck"
 )
 
 // Analyzers returns the full unionlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ackcontract.Analyzer,
 		errcontract.Analyzer,
+		failpointcheck.Analyzer,
 		floatcmp.Analyzer,
 		hotpathalloc.Analyzer,
+		kindcheck.Analyzer,
 		lockcheck.Analyzer,
+		mergepure.Analyzer,
 		seedcheck.Analyzer,
 	}
 }

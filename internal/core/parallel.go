@@ -19,6 +19,9 @@ import (
 // ProcessSlice folds a batch of labels into the sampler using up to
 // workers goroutines (workers <= 0 selects GOMAXPROCS). The final
 // state is identical to calling Process on each label sequentially.
+// mergepure:seam each worker folds its shard into a private sampler
+// and Merge equals union processing exactly, so the merged state is
+// independent of worker completion order (and of the shard count).
 func (s *Sampler) ProcessSlice(labels []uint64, workers int) {
 	shards := shardBounds(len(labels), normalizeWorkers(workers, len(labels)))
 	if len(shards) <= 1 {
@@ -54,6 +57,9 @@ func (s *Sampler) ProcessSlice(labels []uint64, workers int) {
 // GOMAXPROCS). Each (copy, shard) pair runs independently, so the
 // available parallelism is copies × shards. The final state is
 // identical to sequential Process calls.
+// mergepure:seam copies never share state, and each copy's fold is
+// Sampler.ProcessSlice, whose result is completion-order independent;
+// the estimator's final state equals the sequential one.
 func (e *Estimator) ProcessSlice(labels []uint64, workers int) {
 	w := normalizeWorkers(workers, len(labels))
 	if w <= 1 {

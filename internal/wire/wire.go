@@ -234,32 +234,42 @@ type AckCode uint8
 
 const (
 	// AckOK: the message was absorbed.
+	// ackclass: success
 	AckOK AckCode = iota
 	// AckVersionMismatch: the peer spoke a different protocol version.
+	// ackclass: permanent
 	AckVersionMismatch
 	// AckSeedMismatch: the sketch's coordination seed (or wider
 	// configuration) is incompatible with what the coordinator
 	// requires — the uncoordinated-merge failure the paper's shared
 	// seed exists to prevent, surfaced as a typed refusal.
+	// ackclass: permanent
 	AckSeedMismatch
 	// AckCorrupt: the payload failed sketch-level validation.
+	// ackclass: permanent
 	AckCorrupt
 	// AckUnsupported: the request is valid but this coordinator cannot
 	// serve it (e.g. a sketch kind with no registered decoder in the
 	// server's build).
+	// ackclass: permanent
 	AckUnsupported
-	// AckError: any other server-side failure; Detail explains.
+	// AckError: any other server-side failure; Detail explains. The
+	// coordinator failed, not the message — a restarted or recovered
+	// coordinator may accept the retry.
+	// ackclass: transient
 	AckError
 	// AckBadFrame: the frame itself failed wire-level validation (bad
 	// magic, truncation, checksum mismatch) — the bytes were damaged
 	// in transit, not the message, so the sender may retry the same
 	// payload. Distinct from AckCorrupt, which reports a well-framed
 	// payload whose sketch-level decoding failed and is permanent.
+	// ackclass: transient
 	AckBadFrame
 	// AckKindMismatch: the pushed sketch kind differs from the one
 	// this coordinator is pinned to (server.Config.RequireKind) — a
 	// site running the wrong backend must hear a typed, permanent
 	// refusal rather than silently forming its own group.
+	// ackclass: permanent
 	AckKindMismatch
 
 	numAckCodes
