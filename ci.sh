@@ -106,6 +106,37 @@ if ((${#CHAOS_FAILED[@]})); then
     exit 1
 fi
 
+echo "== cluster convergence (3 shards -> parent, seeds 1..3, -race) =="
+# The sharded-tier tentpole: three shards relaying into a parent must
+# leave the parent bit-identical to a single coordinator that absorbed
+# every site push directly — through seeded faults on both hops, and
+# across shard death with ring migration. The fault-free 10^5-group
+# run (TestClusterConvergesBitIdentical) is already part of the
+# 'go test -race ./...' pass above; this gate names the chaos and
+# shard-death legs per seed so a divergence is unmistakable.
+CLUSTER_FAILED=()
+for seed in 1 2 3; do
+    echo "-- cluster chaos.seed=$seed --"
+    if ! go test -race -run 'TestChaosClusterConvergesThroughFaultyHops|TestClusterShardDeathMigrationConverges' \
+            ./internal/distnet -chaos.seed="$seed"; then
+        CLUSTER_FAILED+=("$seed")
+    fi
+done
+if ((${#CLUSTER_FAILED[@]})); then
+    echo "ci.sh: cluster convergence failed for seed(s): ${CLUSTER_FAILED[*]}."
+    echo "ci.sh: the ring and migration logic live in internal/cluster, the relay" \
+         "flush in internal/server/relay.go, the batched/sharded push in" \
+         "internal/client; replay one seed with:" \
+         "go test -race -run Cluster ./internal/distnet -chaos.seed=<seed>"
+    exit 1
+fi
+
+# BENCH_absorb.json (repo root) is the checked-in coordinator-path
+# microbenchmark snapshot (absorb ns/op and MB/s, merge, envelope
+# decode, per kind). It is not gated here — timings are machine-
+# dependent — regenerate it on a quiet machine with:
+#   go run ./cmd/gtbench -bench BENCH_absorb.json
+
 echo "== fuzz smoke: FuzzWireDecode (10s) =="
 # A short bounded run of the wire-format fuzzer: enough to catch a
 # decoder regression on every CI pass without turning the gate into a

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	gtbench [-e E1,E3] [-seed N] [-trials N] [-quick] [-csv DIR] [-list]
+//	gtbench -bench BENCH_absorb.json
 //
 // With no -e flag every experiment runs, in order. -csv additionally
-// writes each table as a CSV file into DIR for plotting.
+// writes each table as a CSV file into DIR for plotting. -bench skips
+// the experiments and instead runs the coordinator-path
+// microbenchmarks (server absorb ns/op and MB/s, raw sketch merge,
+// envelope decode, per registered kind), writing a JSON report — the
+// checked-in snapshot lives at BENCH_absorb.json in the repo root.
 package main
 
 import (
@@ -26,8 +31,17 @@ func main() {
 		quick       = flag.Bool("quick", false, "shrink workloads ~10x for a fast pass")
 		csvDir      = flag.String("csv", "", "directory to write per-table CSV files")
 		list        = flag.Bool("list", false, "list experiments and exit")
+		bench       = flag.String("bench", "", "run the absorb/merge/decode microbenchmarks and write JSON to FILE ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		if err := runBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -10,9 +10,17 @@
 // sampler, honoring -delta) or any other registered kind ("fm",
 // "ams", "bjkst", "kmv", "hll", "window", "exact").
 //
+// Against a sharded tier (see unionstreamd -shards), -shards lists
+// every shard's address and -ring-seed pins the shared consistent-hash
+// ring: each sketch is routed to the shard that owns its merge group,
+// and a query goes to the same owner. If any shard permanently refuses
+// a push, unionpush keeps serving the remaining files, reports each
+// failure with the shard index and address, and exits non-zero.
+//
 // Usage:
 //
-//	unionpush [-addr host:7600] [-backend gt] [-eps 0.05] [-delta 0.01]
+//	unionpush [-addr host:7600 | -shards h1:7600,h2:7600,...]
+//	          [-ring-seed 42] [-backend gt] [-eps 0.05] [-delta 0.01]
 //	          [-seed 42] [-attempts 4] [-timeout 5s] [-query]
 //	          stream1.gts ...
 package main
@@ -21,40 +29,92 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
-	"strings"
-
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/stream"
 	"repro/unionstream"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the exit code and the
+// per-shard error reporting are testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("unionpush", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "coordinator TCP address")
-		eps      = flag.Float64("eps", 0.05, "target relative error")
-		delta    = flag.Float64("delta", 0.01, "target failure probability")
-		seed     = flag.Uint64("seed", 42, "shared coordination seed")
-		backend  = flag.String("backend", "gt", "sketch kind to push ("+strings.Join(unionstream.Backends(), ", ")+")")
-		attempts = flag.Int("attempts", 4, "push attempts per site (with exponential backoff)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "dial timeout")
-		query    = flag.Bool("query", false, "query the union estimates after pushing")
+		addr     = fs.String("addr", "127.0.0.1:7600", "coordinator TCP address")
+		shards   = fs.String("shards", "", "comma-separated shard coordinator addresses (overrides -addr; routes by ring)")
+		ringSeed = fs.Uint64("ring-seed", 42, "consistent-hash ring seed shared with the shards (with -shards)")
+		eps      = fs.Float64("eps", 0.05, "target relative error")
+		delta    = fs.Float64("delta", 0.01, "target failure probability")
+		seed     = fs.Uint64("seed", 42, "shared coordination seed")
+		backend  = fs.String("backend", "gt", "sketch kind to push ("+strings.Join(unionstream.Backends(), ", ")+")")
+		attempts = fs.Int("attempts", 4, "push attempts per site (with exponential backoff)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "dial timeout")
+		query    = fs.Bool("query", false, "query the union estimates after pushing")
 	)
-	flag.Parse()
-	files := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "unionpush: need at least one stream file")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "unionpush: need at least one stream file")
+		return 2
 	}
 
-	cl := client.New(client.Config{
-		Addr:        *addr,
-		DialTimeout: *timeout,
-		Attempts:    *attempts,
-	})
+	base := client.Config{DialTimeout: *timeout, Attempts: *attempts}
 	opts := unionstream.Options{Epsilon: *eps, Delta: *delta, Seed: *seed}
+
+	// push sends one envelope to its coordinator; describe names that
+	// coordinator in error reports. Single-coordinator mode pushes
+	// everything to -addr; -shards mode routes by the group's ring
+	// owner.
+	var push func(msg []byte) (tries int, describe string, err error)
+	var queryClient func(msg []byte) (*client.Client, error)
+	if *shards == "" {
+		base.Addr = *addr
+		cl := client.New(base)
+		push = func(msg []byte) (int, string, error) {
+			tries, err := cl.Push(msg)
+			return tries, *addr, err
+		}
+		queryClient = func([]byte) (*client.Client, error) { return cl, nil }
+	} else {
+		addrs := strings.Split(*shards, ",")
+		ring := cluster.NewRing(len(addrs), 0, *ringSeed)
+		sc, err := client.NewSharded(ring, addrs, base)
+		if err != nil {
+			fmt.Fprintf(stderr, "unionpush: %v\n", err)
+			return 2
+		}
+		push = func(msg []byte) (int, string, error) {
+			shard, tries, err := sc.Push(msg)
+			// The describe string already names the shard, so unwrap the
+			// ShardError to avoid printing "shard N (addr)" twice.
+			var se *client.ShardError
+			if errors.As(err, &se) {
+				err = se.Err
+			}
+			return tries, fmt.Sprintf("shard %d (%s)", shard, addrs[shard]), err
+		}
+		// Every file shares one backend config, so every envelope lands
+		// in one merge group with one ring owner: queries go there.
+		queryClient = func(msg []byte) (*client.Client, error) {
+			shard, err := sc.Route(msg)
+			if err != nil {
+				return nil, err
+			}
+			return sc.Shard(shard), nil
+		}
+	}
 
 	// sketchFile reads one stream file into a fresh sketch of the
 	// selected backend and returns its envelope. The "gt" backend goes
@@ -88,40 +148,57 @@ func main() {
 		return msg, items, err
 	}
 
+	failed := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "unionpush: "+format+"\n", args...)
+		failed++
+	}
+	var lastMsg []byte
 	for _, path := range files {
 		msg, n, err := sketchFile(path)
 		if err != nil {
 			fail("%s: %v", path, err)
+			continue
 		}
-		tries, err := cl.Push(msg)
+		lastMsg = msg
+		tries, where, err := push(msg)
 		switch {
 		case errors.Is(err, client.ErrSeedMismatch):
-			fail("%s: coordinator refused our coordination seed %d: %v", path, *seed, err)
+			fail("%s: %s refused our coordination seed %d: %v", path, where, *seed, err)
 		case errors.Is(err, client.ErrKindMismatch):
-			fail("%s: coordinator is pinned to another sketch kind (ours: %s): %v", path, *backend, err)
+			fail("%s: %s is pinned to another sketch kind (ours: %s): %v", path, where, *backend, err)
 		case errors.Is(err, client.ErrVersionMismatch):
-			fail("%s: coordinator speaks a different protocol version: %v", path, err)
+			fail("%s: %s speaks a different protocol version: %v", path, where, err)
 		case err != nil:
-			fail("%s: %v", path, err)
+			fail("%s: %s: %v", path, where, err)
+		default:
+			fmt.Fprintf(stdout, "site %-24s %8d items, pushed %6d bytes (attempt %d)\n", path, n, len(msg), tries)
 		}
-		fmt.Printf("site %-24s %8d items, pushed %6d bytes (attempt %d)\n", path, n, len(msg), tries)
 	}
 
-	if *query {
-		distinct, err := cl.DistinctCount(*seed)
+	if *query && lastMsg != nil {
+		cl, err := queryClient(lastMsg)
 		if err != nil {
-			fail("distinct query: %v", err)
+			fail("query routing: %v", err)
+		} else {
+			distinct, err := cl.DistinctCount(*seed)
+			if err != nil {
+				fail("distinct query: %v", err)
+			}
+			sum, err := cl.SumDistinct(*seed)
+			if err != nil {
+				fail("sum query: %v", err)
+			}
+			if failed == 0 {
+				fmt.Fprintf(stdout, "\nunion distinct estimate: %.0f\n", distinct)
+				fmt.Fprintf(stdout, "union sum estimate:      %.0f\n", sum)
+			}
 		}
-		sum, err := cl.SumDistinct(*seed)
-		if err != nil {
-			fail("sum query: %v", err)
-		}
-		fmt.Printf("\nunion distinct estimate: %.0f\n", distinct)
-		fmt.Printf("union sum estimate:      %.0f\n", sum)
 	}
-}
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "unionpush: "+format+"\n", args...)
-	os.Exit(1)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "unionpush: %d of %d pushes failed\n", failed, len(files))
+		return 1
+	}
+	return 0
 }

@@ -10,10 +10,22 @@
 //	unionstreamd [-addr :7600] [-statsz :7601] [-workers N]
 //	             [-require-seed N] [-require-kind gt]
 //	             [-max-frame BYTES] [-quiet]
+//	             [-relay-to host:7600] [-relay-interval 1s] [-relay-after N]
+//	             [-shard I -shards N] [-ring-seed 42]
+//
+// With -relay-to the daemon is a mid-tier shard: it keeps absorbing
+// site pushes, and every -relay-interval (or as soon as any group
+// accumulates -relay-after absorbs) it pushes each dirty merge
+// group's merged envelope to the parent coordinator as an ordinary
+// site push. -shard/-shards/-ring-seed declare the daemon's position
+// on the cluster's consistent-hash ring, surfaced per group in
+// /statsz so a misrouting fleet is visible. See README "Running a
+// cluster".
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight messages
-// finish absorbing and are acked before the process exits. Push
-// sketches at it with cmd/unionpush and query with the same tool.
+// finish absorbing and are acked — and a relay pushes everything
+// still dirty upstream — before the process exits. Push sketches at
+// it with cmd/unionpush and query with the same tool.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 
 	// Register every sketch kind the daemon can absorb.
@@ -44,10 +57,21 @@ func main() {
 		requireKind = flag.String("require-kind", "", "reject sketches of any other kind (empty = accept all registered kinds)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		quiet       = flag.Bool("quiet", false, "suppress per-event logging")
+
+		relayTo       = flag.String("relay-to", "", "parent coordinator address to relay merged groups to (enables relay mode)")
+		relayInterval = flag.Duration("relay-interval", time.Second, "relay flush period (with -relay-to)")
+		relayAfter    = flag.Int64("relay-after", 0, "also flush once any group accumulates this many absorbs (0 = timer only)")
+		shard         = flag.Int("shard", 0, "this coordinator's shard index on the cluster ring (with -shards)")
+		shards        = flag.Int("shards", 0, "total shard count on the cluster ring (0 = not clustered)")
+		ringSeed      = flag.Uint64("ring-seed", 42, "consistent-hash ring seed shared by shards and pushers (with -shards)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "unionstreamd: unexpected arguments", flag.Args())
+		os.Exit(2)
+	}
+	if *shards > 0 && (*shard < 0 || *shard >= *shards) {
+		fmt.Fprintf(os.Stderr, "unionstreamd: -shard %d outside [0,%d)\n", *shard, *shards)
 		os.Exit(2)
 	}
 
@@ -64,6 +88,22 @@ func main() {
 	}
 	if *pinSeed {
 		cfg.RequireSeed = requireSeed
+	}
+	if *relayTo != "" {
+		cfg.Relay = &server.RelayConfig{
+			Upstream:      *relayTo,
+			FlushInterval: *relayInterval,
+			FlushAfter:    *relayAfter,
+		}
+	}
+	if *shards > 0 {
+		ring := cluster.NewRing(*shards, 0, *ringSeed)
+		cfg.Cluster = &server.ClusterInfo{
+			Shard:    *shard,
+			Shards:   *shards,
+			RingSeed: *ringSeed,
+			Owner:    ring.OwnerOf,
+		}
 	}
 	srv := server.New(cfg)
 

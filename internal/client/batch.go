@@ -1,0 +1,94 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/wire"
+)
+
+// PushBatch pushes many sketch envelopes over one long-lived
+// connection — the shape the relay tier and bulk loaders need, where
+// dialing per message (Push's one-shot contract) would dominate the
+// cost of 10^5-group flushes.
+//
+// Envelopes are pushed in order, each individually acked. A transient
+// failure (dropped connection, damaged frame, coordinator error)
+// closes the connection, backs off, redials, and resumes from the
+// failing envelope — so an envelope can be delivered more than once
+// across a retry, which the coordinator's idempotent merge absorbs.
+// Attempts are budgeted per envelope (cfg.Attempts each), not per
+// batch, so one flaky message cannot starve the rest of their
+// retries. A permanent refusal (mismatch, corrupt, unsupported)
+// aborts the batch and reports the offending index; everything before
+// it was delivered and acked.
+//
+// It returns the number of envelopes durably acked.
+func (c *Client) PushBatch(envelopes [][]byte) (pushed int, err error) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	attempt := 1 // dial/push attempts for the envelope at `pushed`
+	for pushed < len(envelopes) {
+		if conn == nil {
+			if attempt > 1 {
+				time.Sleep(c.backoff(attempt - 1))
+			}
+			conn, err = c.dialBatch()
+			if err != nil {
+				if attempt++; attempt > c.cfg.Attempts {
+					return pushed, fmt.Errorf("client: batch push stalled at envelope %d/%d after %d attempts: %w",
+						pushed, len(envelopes), c.cfg.Attempts, err)
+				}
+				continue
+			}
+		}
+		err = c.pushOne(conn, envelopes[pushed])
+		switch {
+		case err == nil:
+			pushed++
+			attempt = 1
+		case permanent(err):
+			return pushed, fmt.Errorf("client: batch envelope %d/%d refused: %w", pushed, len(envelopes), err)
+		default:
+			// Transient: the connection is in an unknown state (a
+			// half-written frame, a lost ack) — drop it and resume on a
+			// fresh one. The envelope may have been absorbed before the
+			// ack was lost; the redelivery merges idempotently.
+			conn.Close()
+			conn = nil
+			if attempt++; attempt > c.cfg.Attempts {
+				return pushed, fmt.Errorf("client: batch push stalled at envelope %d/%d after %d attempts: %w",
+					pushed, len(envelopes), c.cfg.Attempts, err)
+			}
+		}
+	}
+	return pushed, nil
+}
+
+// dialBatch opens the batch connection, honoring the same failpoint
+// the one-shot dial path injects through.
+func (c *Client) dialBatch() (net.Conn, error) {
+	if err := failpoint.Inject(failpoint.ClientDial); err != nil {
+		return nil, err
+	}
+	return net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+}
+
+// pushOne writes one push frame on the standing connection and reads
+// its ack, bounding the round trip with the per-operation deadline.
+func (c *Client) pushOne(conn net.Conn, envelope []byte) error {
+	if err := conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout)); err != nil {
+		return err
+	}
+	if err := c.writeFrame(conn, wire.MsgPush, envelope); err != nil {
+		return err
+	}
+	return c.readAck(conn)
+}

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 // Chaos suite for the site client: failpoint faults on the dial,
 // write, and read paths must be ridden out by the retry loop, and a
@@ -7,7 +7,8 @@ package client
 // paper's idempotent, commutative sketch union.
 //
 // Run with -chaos.seed=N to pin the fault schedule; ci.sh sweeps
-// seeds 1..3.
+// seeds 1..3. External test package: the suite stands up
+// internal/server, which itself builds on this client.
 
 import (
 	"bytes"
@@ -18,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/failpoint"
 	"repro/internal/faultnet"
@@ -95,7 +97,7 @@ func TestChaosFailpointSitesRetried(t *testing.T) {
 			msgs, _ := chaosMessages(t, core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: 11}, 1)
 
 			failpoint.Enable(site, failpoint.Times(2, errors.New("injected "+site+" fault")))
-			cl := New(Config{Addr: addr, Attempts: 5, BackoffBase: time.Millisecond, JitterSeed: 1})
+			cl := client.New(client.Config{Addr: addr, Attempts: 5, BackoffBase: time.Millisecond, JitterSeed: 1})
 			attempts, err := cl.Push(msgs[0])
 			if err != nil {
 				t.Fatalf("push never converged past %s faults: %v", site, err)
@@ -117,7 +119,7 @@ func TestChaosFailpointFaultsExhaustAttempts(t *testing.T) {
 	_, addr := chaosCoordinator(t)
 	injected := errors.New("injected permanent outage")
 	failpoint.Enable(failpoint.ClientDial, failpoint.Error(injected))
-	cl := New(Config{Addr: addr, Attempts: 3, BackoffBase: time.Millisecond, JitterSeed: 1})
+	cl := client.New(client.Config{Addr: addr, Attempts: 3, BackoffBase: time.Millisecond, JitterSeed: 1})
 	attempts, err := cl.Push([]byte("msg"))
 	if !errors.Is(err, injected) {
 		t.Fatalf("err = %v, want the injected cause", err)
@@ -145,7 +147,7 @@ func TestChaosConvergesThroughSeededProxy(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Close()
-			cl := New(Config{
+			cl := client.New(client.Config{
 				Addr:        p.Addr(),
 				Attempts:    25,
 				DialTimeout: time.Second,

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// Router assigns merge groups — identified by the (kind, config
+// digest) pair every envelope carries in its header — to shard
+// indices. cluster.(*Ring).OwnerOf satisfies it; the indirection
+// keeps this package free of a dependency on the cluster package.
+type Router interface {
+	// OwnerOf returns the owning shard index in [0, Shards()) for the
+	// group with the given kind tag and config digest.
+	OwnerOf(kind uint8, digest uint64) int
+	// Shards returns the shard-index space the router assigns into.
+	Shards() int
+}
+
+// ShardError wraps a failure talking to one shard with the shard's
+// identity, so a caller pushing across a cluster can report exactly
+// which coordinator refused or vanished. errors.Is/As see through it.
+type ShardError struct {
+	// Shard is the ring index; Addr its coordinator address.
+	Shard int
+	Addr  string
+	Err   error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Sharded is a multi-coordinator client: it routes each pushed
+// envelope to the shard that owns the envelope's merge group and
+// retries through that shard's own retrying Client. It is safe for
+// concurrent use.
+type Sharded struct {
+	router  Router
+	addrs   []string
+	clients []*Client
+}
+
+// NewSharded builds a sharded client over the given coordinator
+// addresses, one per shard index, sharing base for every per-shard
+// Client (Addr is overwritten per shard; a non-zero JitterSeed is
+// offset per shard so a fleet of shards does not back off in
+// lockstep).
+func NewSharded(router Router, addrs []string, base Config) (*Sharded, error) {
+	if router.Shards() != len(addrs) {
+		return nil, fmt.Errorf("client: router assigns %d shards, %d addresses given", router.Shards(), len(addrs))
+	}
+	s := &Sharded{router: router, addrs: addrs, clients: make([]*Client, len(addrs))}
+	for i, addr := range addrs {
+		cfg := base
+		cfg.Addr = addr
+		if cfg.JitterSeed != 0 {
+			cfg.JitterSeed += int64(i)
+		}
+		s.clients[i] = New(cfg)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.clients) }
+
+// Shard returns the per-shard Client — for queries, stats, or batch
+// pushes aimed at one coordinator.
+func (s *Sharded) Shard(i int) *Client { return s.clients[i] }
+
+// Addr returns shard i's coordinator address.
+func (s *Sharded) Addr(i int) string { return s.addrs[i] }
+
+// Route returns the shard index owning the envelope's merge group,
+// or an error when the bytes are not a sketch envelope.
+func (s *Sharded) Route(envelope []byte) (int, error) {
+	kind, digest, ok := sketch.PeekHeader(envelope)
+	if !ok {
+		return 0, fmt.Errorf("client: %w: not a sketch envelope, cannot route", ErrRejected)
+	}
+	shard := s.router.OwnerOf(uint8(kind), digest)
+	if shard < 0 || shard >= len(s.clients) {
+		return 0, fmt.Errorf("client: router assigned shard %d outside [0,%d)", shard, len(s.clients))
+	}
+	return shard, nil
+}
+
+// Push routes one envelope to its owning shard and pushes it through
+// that shard's retry loop. Failures come back wrapped in *ShardError.
+func (s *Sharded) Push(envelope []byte) (shard, attempts int, err error) {
+	shard, err = s.Route(envelope)
+	if err != nil {
+		return 0, 0, err
+	}
+	attempts, err = s.clients[shard].Push(envelope)
+	if err != nil {
+		err = &ShardError{Shard: shard, Addr: s.addrs[shard], Err: err}
+	}
+	return shard, attempts, err
+}
+
+// PushBatch routes a batch of envelopes to their owning shards and
+// pushes each shard's slice over one batched connection (see
+// Client.PushBatch). Shards are attempted independently: one shard's
+// failure does not stop deliveries to the others, and every failure
+// comes back as a *ShardError inside the joined error. It returns the
+// total number of envelopes durably acked.
+func (s *Sharded) PushBatch(envelopes [][]byte) (pushed int, err error) {
+	perShard := make([][][]byte, len(s.clients))
+	for _, env := range envelopes {
+		shard, rerr := s.Route(env)
+		if rerr != nil {
+			return 0, rerr
+		}
+		perShard[shard] = append(perShard[shard], env)
+	}
+	var errs []error
+	for shard, batch := range perShard {
+		if len(batch) == 0 {
+			continue
+		}
+		n, berr := s.clients[shard].PushBatch(batch)
+		pushed += n
+		if berr != nil {
+			errs = append(errs, &ShardError{Shard: shard, Addr: s.addrs[shard], Err: berr})
+		}
+	}
+	return pushed, errors.Join(errs...)
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/failpoint"
+)
+
+// Group is one merge group's portable state: its identity plus the
+// self-describing envelope of its merged sketch — exactly what
+// server.(*Server).Snapshots returns and exactly what an ordinary site
+// would push. Migration and relay both move groups in this form, so
+// the receiving coordinator cannot tell a migrated group from a very
+// well-informed site.
+type Group struct {
+	Key      GroupKey
+	Envelope []byte
+}
+
+// Migration is the plan for moving one shard's groups after a ring
+// membership change: which groups to re-push, and where.
+type Migration struct {
+	// Key identifies the group; Shard is its owner under the new ring.
+	Key   GroupKey
+	Shard int
+}
+
+// Plan computes the migrations for the groups a shard holds: every
+// group whose owner under next differs from its owner under prev.
+// Groups are returned in input order; Plan is pure so callers can
+// compute it anywhere (the shard itself, an operator tool, a test)
+// and get the same answer.
+func Plan(groups []Group, prev, next *Ring) []Migration {
+	var out []Migration
+	for _, g := range groups {
+		if was, now := prev.Owner(g.Key), next.Owner(g.Key); was != now {
+			out = append(out, Migration{Key: g.Key, Shard: now})
+		}
+	}
+	return out
+}
+
+// Migrate executes a plan: for each group whose owner changed from
+// prev to next, it pushes the group's envelope to the new owner via
+// push(shard, envelope). Because merges are idempotent, Migrate is
+// safe to run twice, to race with live site pushes for the same
+// groups, and to re-run after a partial failure — the new owner
+// absorbs duplicates into the same fixpoint.
+//
+// Migrate attempts every group even after a failure and returns the
+// number of groups successfully moved alongside the joined errors, so
+// a caller can retry exactly the stragglers.
+func Migrate(groups []Group, prev, next *Ring, push func(shard int, envelope []byte) error) (moved int, err error) {
+	var errs []error
+	for _, g := range groups {
+		shard := next.Owner(g.Key)
+		if prev.Owner(g.Key) == shard {
+			continue
+		}
+		if ferr := failpoint.Inject(failpoint.ClusterMigrate); ferr != nil {
+			errs = append(errs, fmt.Errorf("cluster: migrating group %s to shard %d: %w", g.Key, shard, ferr))
+			continue
+		}
+		if perr := push(shard, g.Envelope); perr != nil {
+			errs = append(errs, fmt.Errorf("cluster: migrating group %s to shard %d: %w", g.Key, shard, perr))
+			continue
+		}
+		moved++
+	}
+	return moved, errors.Join(errs...)
+}

@@ -1,0 +1,197 @@
+// Package cluster implements the sharded, hierarchical aggregation
+// tier on top of the single-coordinator referee: a deterministic
+// consistent-hash ring that assigns merge groups — identified by the
+// same (kind, config digest) pair the coordinator keys its groups on
+// — to N unionstreamd shards, and the group-migration step a ring
+// membership change requires.
+//
+// The whole tier leans on one fact, pinned bit-identical for every
+// registered kind by the sketchtest conformance suite: sketch merges
+// are commutative, associative, and idempotent. Any *tree* of
+// coordinators therefore computes exactly the same merged state as a
+// single coordinator absorbing every site message itself — shards
+// merge their slice of the groups, relay their merged envelopes
+// upstream as if they were ordinary sites, and the parent's groups
+// converge to the single-coordinator fixpoint regardless of flush
+// timing, duplicate deliveries, or the order shards push in. The
+// distnet cluster suite asserts that equivalence byte for byte, at
+// 10^5-group scale and under seeded fault schedules.
+//
+// The ring itself is a pure, deterministic function of (shard count,
+// virtual-node count, seed): every participant — pushing clients,
+// shards reporting ownership in /statsz, the migration planner — can
+// derive the identical assignment locally with no coordination
+// service, which is what keeps the data path zero-round-trip.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/sketch"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count when a
+// Config leaves it zero. 64 points per shard keeps the expected load
+// imbalance across a handful of shards within a few percent while the
+// ring stays small enough to rebuild on every membership change.
+const DefaultVirtualNodes = 64
+
+// GroupKey identifies one merge group, exactly as the coordinator
+// keys its group table: a sketch kind plus its canonical config
+// digest. Two envelopes land in the same group — and therefore on the
+// same shard — exactly when their sketches are merge-compatible.
+type GroupKey struct {
+	Kind   sketch.Kind
+	Digest uint64
+}
+
+// String renders the key the way /statsz renders groups.
+func (k GroupKey) String() string {
+	return fmt.Sprintf("%s/%016x", k.Kind, k.Digest)
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// shard.
+type point struct {
+	pos   uint64
+	shard int
+}
+
+// Ring is a deterministic consistent-hash ring over a fixed set of
+// shard indices. Construct with NewRing; the zero value is not valid.
+// A Ring is immutable and safe for concurrent use.
+type Ring struct {
+	shards int
+	vnodes int
+	seed   uint64
+	// members[i] reports whether shard i is present. Rings built by
+	// NewRing have every shard present; Without clears one.
+	members []bool
+	points  []point // sorted by pos
+}
+
+// NewRing builds a ring of `shards` shards (indices 0..shards-1),
+// each contributing `vnodes` virtual nodes (<= 0 selects
+// DefaultVirtualNodes), with every virtual-node position derived
+// deterministically from seed. Equal (shards, vnodes, seed) always
+// yields the identical assignment, on every machine — clients, shard
+// daemons, and tests share the ring by sharing those three numbers.
+func NewRing(shards, vnodes int, seed uint64) *Ring {
+	if shards < 1 {
+		panic(fmt.Sprintf("cluster: ring needs at least 1 shard, got %d", shards))
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	members := make([]bool, shards)
+	for i := range members {
+		members[i] = true
+	}
+	return build(shards, vnodes, seed, members)
+}
+
+// build assembles the sorted point list for the member shards.
+func build(shards, vnodes int, seed uint64, members []bool) *Ring {
+	r := &Ring{shards: shards, vnodes: vnodes, seed: seed, members: members}
+	for s := 0; s < shards; s++ {
+		if !members[s] {
+			continue
+		}
+		// Each shard's virtual nodes come from a SplitMix64 stream
+		// keyed by (seed, shard), so one shard's points do not depend
+		// on how many other shards exist — the property that makes
+		// membership change move only the departing shard's arcs.
+		rng := hashing.NewSplitMix64(seed ^ (uint64(s)+1)*0x9E3779B97F4A7C15)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{pos: rng.Next(), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		// Position collisions (astronomically rare at 64 bits) break
+		// ties by shard index so the ring stays deterministic.
+		return a.shard < b.shard
+	})
+	return r
+}
+
+// Without returns a new ring with shard s removed — the membership
+// change a shard death or decommission induces. Only groups whose
+// owning arc belonged to s change owner (the consistent-hashing
+// guarantee TestRingWithoutMovesOnlyDepartingGroups pins); everything
+// else keeps its assignment, so migration re-pushes exactly the dead
+// shard's groups.
+func (r *Ring) Without(s int) *Ring {
+	if s < 0 || s >= r.shards {
+		panic(fmt.Sprintf("cluster: Without(%d) outside ring of %d shards", s, r.shards))
+	}
+	members := make([]bool, r.shards)
+	copy(members, r.members)
+	if !members[s] {
+		return r
+	}
+	members[s] = false
+	live := 0
+	for _, m := range members {
+		if m {
+			live++
+		}
+	}
+	if live == 0 {
+		panic("cluster: Without would empty the ring")
+	}
+	return build(r.shards, r.vnodes, r.seed, members)
+}
+
+// Shards returns the ring's shard-index space (including removed
+// members: indices are stable across membership changes).
+func (r *Ring) Shards() int { return r.shards }
+
+// Seed returns the ring seed.
+func (r *Ring) Seed() uint64 { return r.seed }
+
+// VirtualNodes returns the per-shard virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Members returns the live shard indices in ascending order.
+func (r *Ring) Members() []int {
+	var out []int
+	for i, m := range r.members {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// keyHash maps a group key onto the ring's 64-bit space. The ring
+// seed participates so distinct deployments shard the same group
+// population differently; SplitMix64's finalizer scrambles the raw
+// digest (which is itself an FNV hash, but of structured low-entropy
+// fields) into a uniform position.
+func (r *Ring) keyHash(key GroupKey) uint64 {
+	return hashing.NewSplitMix64(r.seed ^ uint64(key.Kind)<<56 ^ key.Digest).Next()
+}
+
+// Owner returns the shard owning the group: the shard of the first
+// virtual node at or clockwise of the key's ring position.
+func (r *Ring) Owner(key GroupKey) int {
+	h := r.keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point to the ring's first
+	}
+	return r.points[i].shard
+}
+
+// OwnerOf is Owner with the key unpacked — the signature the
+// client-side Router interface uses, so a *Ring plugs straight into
+// client.NewSharded without the client package importing this one.
+func (r *Ring) OwnerOf(kind uint8, digest uint64) int {
+	return r.Owner(GroupKey{Kind: sketch.Kind(kind), Digest: digest})
+}

@@ -49,6 +49,18 @@ const (
 	// hooks typically Sleep to widen the drain window. Its error is
 	// ignored — a drain cannot be refused.
 	ServerDrain = "server/drain"
+	// ServerRelayFlush fires at the start of each relay flush cycle,
+	// before any group is snapshotted; an error skips the whole cycle
+	// (the groups stay dirty and the next cycle retries them).
+	ServerRelayFlush = "server/relay-flush"
+	// ServerRelayPush fires before each per-group upstream push in a
+	// relay flush; an error fails that group's push (the group stays
+	// dirty — at-least-once delivery, made safe by idempotent merges).
+	ServerRelayPush = "server/relay-push"
+	// ClusterMigrate fires before each group re-push during ring
+	// migration; an error fails that group's move (the caller retries
+	// — duplicate re-pushes are idempotent).
+	ClusterMigrate = "cluster/migrate"
 	// ClientDial fires before each dial attempt; an error counts as a
 	// transient dial failure (retried with backoff).
 	ClientDial = "client/dial"

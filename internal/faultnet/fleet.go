@@ -1,0 +1,72 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Fleet is one Proxy per coordinator in a multi-coordinator topology:
+// the cluster chaos suites put an independently scheduled proxy in
+// front of every shard and one more on the shard→parent relay link,
+// so faults hit each hop of the aggregation tree separately. Each
+// proxy gets its own deterministic schedule, so a fleet trace replays
+// exactly like a single proxy's.
+type Fleet struct {
+	proxies []*Proxy
+}
+
+// NewFleet proxies each target with the schedule schedFor returns for
+// its index. On any listen failure the proxies already started are
+// closed before the error returns.
+func NewFleet(targets []string, schedFor func(i int) Schedule, opts ...Option) (*Fleet, error) {
+	f := &Fleet{proxies: make([]*Proxy, len(targets))}
+	for i, target := range targets {
+		p, err := New(target, schedFor(i), opts...)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("faultnet: fleet proxy %d for %s: %w", i, target, err)
+		}
+		f.proxies[i] = p
+	}
+	return f, nil
+}
+
+// Addrs returns the proxies' listen addresses, index-aligned with the
+// targets — hand these to the dialing side in place of the real ones.
+func (f *Fleet) Addrs() []string {
+	addrs := make([]string, len(f.proxies))
+	for i, p := range f.proxies {
+		if p != nil {
+			addrs[i] = p.Addr()
+		}
+	}
+	return addrs
+}
+
+// Proxy returns the i-th proxy.
+func (f *Fleet) Proxy(i int) *Proxy { return f.proxies[i] }
+
+// Close shuts every proxy down.
+func (f *Fleet) Close() error {
+	var errs []error
+	for _, p := range f.proxies {
+		if p != nil {
+			errs = append(errs, p.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// TraceString renders every proxy's fault trace, labeled by index, in
+// a stable order — the fleet-wide replay artifact.
+func (f *Fleet) TraceString() string {
+	var b strings.Builder
+	for i, p := range f.proxies {
+		if p == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "proxy %d:\n%s", i, p.TraceString())
+	}
+	return b.String()
+}

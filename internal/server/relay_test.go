@@ -1,0 +1,289 @@
+package server_test
+
+// Relay-mode suite: a child coordinator with a RelayConfig must push
+// each merge group's merged envelope upstream — on flush, on the hot
+// threshold, and on shutdown drain — and duplicate deliveries must
+// leave the parent bit-identical to a single coordinator that
+// absorbed every site directly (the paper's idempotent union at work
+// one tier up).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/sketch/kmv"
+)
+
+// relayEnvelopes builds n envelopes in n distinct kmv merge groups
+// (distinct coordination seeds → distinct config digests).
+func relayEnvelopes(t *testing.T, n int) [][]byte {
+	t.Helper()
+	envs := make([][]byte, n)
+	for i := range envs {
+		sk := kmv.New(4, uint64(5000+i))
+		for x := uint64(0); x < 32; x++ {
+			sk.Process(x*7 + uint64(i))
+		}
+		env, err := sketch.Envelope(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs[i] = env
+	}
+	return envs
+}
+
+// relayPair stands up a parent coordinator and a child relaying into
+// it. The child's flush timer is parked (1h) unless cfg overrides it,
+// so tests drive flushes explicitly and deterministically.
+func relayPair(t *testing.T, cfg server.RelayConfig) (parent, child *server.Server, childAddr string) {
+	t.Helper()
+	parent = server.New(server.Config{})
+	parentAddr := startServer(t, parent)
+	cfg.Upstream = parentAddr
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = time.Hour
+	}
+	if cfg.Attempts == 0 {
+		cfg.Attempts = 4
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	child = server.New(server.Config{Relay: &cfg})
+	childAddr = startServer(t, child)
+	return parent, child, childAddr
+}
+
+func pushAll(t *testing.T, addr string, envs [][]byte) {
+	t.Helper()
+	cl := testClient(addr)
+	for _, env := range envs {
+		if _, err := cl.Push(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRelayFlushPushesDirtyGroups: an explicit flush delivers every
+// dirty group upstream once, clears the dirt, and a second flush with
+// nothing new pushes nothing.
+func TestRelayFlushPushesDirtyGroups(t *testing.T) {
+	parent, child, childAddr := relayPair(t, server.RelayConfig{})
+	envs := relayEnvelopes(t, 12)
+	pushAll(t, childAddr, envs)
+
+	n, err := child.FlushRelay()
+	if err != nil || n != len(envs) {
+		t.Fatalf("FlushRelay = %d, %v; want %d, nil", n, err, len(envs))
+	}
+	pst := parent.Stats()
+	if pst.SketchesAbsorbed != int64(len(envs)) || len(pst.Groups) != len(envs) {
+		t.Fatalf("parent absorbed %d into %d groups, want %d/%d",
+			pst.SketchesAbsorbed, len(pst.Groups), len(envs), len(envs))
+	}
+	for _, g := range child.Stats().Groups {
+		if g.PendingRelay != 0 {
+			t.Errorf("group %s still has %d pending after flush", g.Digest, g.PendingRelay)
+		}
+		if g.RelayPushes != 1 {
+			t.Errorf("group %s relay_pushes = %d, want 1", g.Digest, g.RelayPushes)
+		}
+	}
+	if n, err := child.FlushRelay(); err != nil || n != 0 {
+		t.Fatalf("idle FlushRelay = %d, %v; want 0, nil", n, err)
+	}
+	if pst := parent.Stats(); pst.SketchesAbsorbed != int64(len(envs)) {
+		t.Errorf("idle flush still pushed: parent absorbed %d", pst.SketchesAbsorbed)
+	}
+}
+
+// TestRelayNotARelay: FlushRelay on a plain coordinator refuses.
+func TestRelayNotARelay(t *testing.T) {
+	srv := server.New(server.Config{})
+	if _, err := srv.FlushRelay(); err == nil {
+		t.Fatal("FlushRelay on a non-relay server succeeded")
+	}
+}
+
+// TestRelayIntervalFlushes: the flush timer alone — no explicit
+// FlushRelay — carries absorbed state upstream.
+func TestRelayIntervalFlushes(t *testing.T) {
+	parent, _, childAddr := relayPair(t, server.RelayConfig{FlushInterval: 5 * time.Millisecond})
+	envs := relayEnvelopes(t, 4)
+	pushAll(t, childAddr, envs)
+	waitFor(t, 5*time.Second, func() bool {
+		return parent.Stats().SketchesAbsorbed >= int64(len(envs))
+	}, "timer flush to reach the parent")
+}
+
+// TestRelayFlushAfterThreshold: crossing FlushAfter nudges a flush
+// immediately, without waiting for the (parked) timer.
+func TestRelayFlushAfterThreshold(t *testing.T) {
+	parent, _, childAddr := relayPair(t, server.RelayConfig{FlushAfter: 1})
+	envs := relayEnvelopes(t, 3)
+	pushAll(t, childAddr, envs)
+	waitFor(t, 5*time.Second, func() bool {
+		return parent.Stats().SketchesAbsorbed >= int64(len(envs))
+	}, "threshold-triggered flush to reach the parent")
+}
+
+// TestRelayDrainFlushOnShutdown: state absorbed but never flushed
+// must still reach the parent — Shutdown's drain flush is the
+// no-data-left-behind guarantee for a cleanly stopped shard.
+func TestRelayDrainFlushOnShutdown(t *testing.T) {
+	parent := server.New(server.Config{})
+	parentAddr := startServer(t, parent)
+	child := server.New(server.Config{Relay: &server.RelayConfig{
+		Upstream:      parentAddr,
+		FlushInterval: time.Hour,
+		Attempts:      4,
+		BackoffBase:   time.Millisecond,
+		JitterSeed:    1,
+	}})
+	childAddr := startServer(t, child)
+
+	envs := relayEnvelopes(t, 6)
+	pushAll(t, childAddr, envs)
+	if parent.Stats().SketchesAbsorbed != 0 {
+		t.Fatal("parent saw state before any flush — timer should be parked")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := child.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := parent.Stats().SketchesAbsorbed; got != int64(len(envs)) {
+		t.Fatalf("drain flush delivered %d groups, want %d", got, len(envs))
+	}
+	rs := child.Stats().Relay
+	if rs == nil || !rs.DrainFlushed || rs.DrainGroups != int64(len(envs)) {
+		t.Fatalf("relay stats after drain = %+v, want drain_flushed with %d groups", rs, len(envs))
+	}
+}
+
+// TestRelayFlushFailpointRetries: an injected fault failing the whole
+// flush cycle leaves every group dirty; the next cycle delivers them
+// all — at-least-once at the round granularity.
+func TestRelayFlushFailpointRetries(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	parent, child, childAddr := relayPair(t, server.RelayConfig{})
+	envs := relayEnvelopes(t, 5)
+	pushAll(t, childAddr, envs)
+
+	injected := errors.New("injected flush outage")
+	failpoint.Enable(failpoint.ServerRelayFlush, failpoint.Times(1, injected))
+	if _, err := child.FlushRelay(); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected cause", err)
+	}
+	if got := parent.Stats().SketchesAbsorbed; got != 0 {
+		t.Fatalf("failed cycle still delivered %d groups", got)
+	}
+	n, err := child.FlushRelay()
+	if err != nil || n != len(envs) {
+		t.Fatalf("retry FlushRelay = %d, %v; want %d, nil", n, err, len(envs))
+	}
+	rs := child.Stats().Relay
+	if rs.PushErrors != 1 || rs.LastError == "" {
+		t.Errorf("relay stats = %+v, want one recorded push error", rs)
+	}
+}
+
+// TestRelayPushFailpointSkipsGroup: a per-group injected fault skips
+// only that group — it stays dirty and the next round carries it.
+func TestRelayPushFailpointSkipsGroup(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	parent, child, childAddr := relayPair(t, server.RelayConfig{})
+	envs := relayEnvelopes(t, 4)
+	pushAll(t, childAddr, envs)
+
+	failpoint.Enable(failpoint.ServerRelayPush, failpoint.Times(1, errors.New("injected group fault")))
+	n, err := child.FlushRelay()
+	if err != nil || n != len(envs)-1 {
+		t.Fatalf("FlushRelay = %d, %v; want %d, nil", n, err, len(envs)-1)
+	}
+	n, err = child.FlushRelay()
+	if err != nil || n != 1 {
+		t.Fatalf("second FlushRelay = %d, %v; want 1, nil (the skipped group)", n, err)
+	}
+	if got := parent.Stats().SketchesAbsorbed; got != int64(len(envs)) {
+		t.Fatalf("parent absorbed %d, want %d", got, len(envs))
+	}
+}
+
+// TestRelayDuplicatesConverge: repeated flushes of evolving groups
+// hand the parent overlapping, duplicate envelopes; the parent must
+// end bit-identical to a coordinator that absorbed every site push
+// directly. This is the tree-of-referees equivalence the cluster tier
+// is built on.
+func TestRelayDuplicatesConverge(t *testing.T) {
+	parent, child, childAddr := relayPair(t, server.RelayConfig{})
+	control := server.New(server.Config{})
+	controlAddr := startServer(t, control)
+
+	// Three waves of site pushes into the same 8 groups, flushing after
+	// each wave — so waves 2 and 3 re-push state the parent already
+	// merged once.
+	const groups = 8
+	for wave := 0; wave < 3; wave++ {
+		envs := make([][]byte, groups)
+		for i := range envs {
+			sk := kmv.New(8, uint64(5000+i))
+			for x := uint64(0); x < 64; x++ {
+				sk.Process(x + uint64(wave)*40) // waves overlap by 24 labels
+			}
+			env, err := sketch.Envelope(sk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs[i] = env
+		}
+		pushAll(t, childAddr, envs)
+		pushAll(t, controlAddr, envs)
+		if n, err := child.FlushRelay(); err != nil || n != groups {
+			t.Fatalf("wave %d flush = %d, %v; want %d, nil", wave, n, err, groups)
+		}
+	}
+	// One gratuitous re-flush: mark everything dirty again by pushing
+	// wave-0 state once more (a pure duplicate for parent and control).
+	parentSnaps, err := parent.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	controlSnaps, err := control.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parentSnaps) != groups || len(controlSnaps) != groups {
+		t.Fatalf("snapshot counts: parent %d, control %d, want %d", len(parentSnaps), len(controlSnaps), groups)
+	}
+	for i := range parentSnaps {
+		p, c := parentSnaps[i], controlSnaps[i]
+		if p.Digest != c.Digest || !bytes.Equal(p.Envelope, c.Envelope) {
+			t.Fatalf("group %016x diverged between relayed parent and direct control", p.Digest)
+		}
+	}
+}

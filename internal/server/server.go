@@ -33,6 +33,7 @@ import (
 	"math"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,9 +63,35 @@ type Config struct {
 	// backend (a registered kind name, e.g. "gt") with
 	// AckKindMismatch — the backend analogue of RequireSeed.
 	RequireKind string
+	// Relay, when non-nil, runs this coordinator as a mid-tier shard
+	// that periodically pushes each group's merged envelope to an
+	// upstream parent coordinator (see RelayConfig). Shutdown flushes
+	// every dirty group upstream before returning.
+	Relay *RelayConfig
+	// Cluster, when non-nil, describes this coordinator's place in a
+	// consistent-hash cluster for introspection: /statsz reports the
+	// shard identity and, per group, the ring owner — the fastest way
+	// to spot a mis-seeded ring pushing groups to the wrong shard.
+	Cluster *ClusterInfo
 	// Logf, when set, receives one line per lifecycle event and
 	// per-connection error (e.g. log.Printf). Nil disables logging.
 	Logf func(format string, args ...any)
+}
+
+// ClusterInfo is the coordinator's view of the consistent-hash ring
+// it serves in. It is introspection-only data: the data path accepts
+// whatever compatible envelopes arrive (idempotent merges make
+// misrouted groups safe, just unbalanced), and /statsz surfaces
+// ownership so the imbalance is visible.
+type ClusterInfo struct {
+	// Shard is this coordinator's ring index; Shards the ring size.
+	Shard, Shards int
+	// RingSeed is the deployment's shared ring seed.
+	RingSeed uint64
+	// Owner maps a group's (kind tag, config digest) to its owning
+	// shard index — typically cluster.(*Ring).OwnerOf. Nil disables
+	// per-group ownership reporting.
+	Owner func(kind uint8, digest uint64) int
 }
 
 // groupKey identifies one merge group: a sketch kind plus its
@@ -86,10 +113,16 @@ type group struct {
 	seed   uint64
 	digest uint64
 
-	mu       sync.Mutex // guards: sk, absorbed, bytes
+	mu       sync.Mutex // guards: sk, absorbed, bytes, pendingRelay, relayPushes
 	sk       sketch.Sketch
 	absorbed int64
 	bytes    int64
+	// pendingRelay counts absorbs not yet covered by an acked upstream
+	// envelope; relayPushes counts acked upstream pushes of this
+	// group. Both are bookkeeping only — maintained even on a
+	// non-relay coordinator, where pendingRelay simply grows.
+	pendingRelay int64
+	relayPushes  int64
 }
 
 // absorbJob is one queued push. The reader goroutine that enqueued it
@@ -105,9 +138,10 @@ type absorbJob struct {
 // Server is the coordinator daemon. Create with New, start with
 // ListenAndServe or Serve, stop with Shutdown.
 type Server struct {
-	cfg  Config
-	jobs chan *absorbJob
-	quit chan struct{}
+	cfg   Config
+	jobs  chan *absorbJob
+	quit  chan struct{}
+	relay *relayState // nil unless cfg.Relay is set
 
 	workerWG sync.WaitGroup
 	connWG   sync.WaitGroup
@@ -130,13 +164,17 @@ func New(cfg Config) *Server {
 	if cfg.MaxPayload == 0 {
 		cfg.MaxPayload = wire.DefaultMaxPayload
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		jobs:   make(chan *absorbJob),
 		quit:   make(chan struct{}),
 		groups: make(map[groupKey]*group),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	if cfg.Relay != nil {
+		s.relay = newRelayState(*cfg.Relay)
+	}
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -175,6 +213,12 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.workerWG.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
+	}
+	if s.relay != nil {
+		s.relay.wg.Add(1)
+		go s.relayLoop()
+		s.logf("unionstreamd: relaying merged groups to %s every %s",
+			s.relay.cfg.Upstream, s.relay.cfg.FlushInterval)
 	}
 	s.logf("unionstreamd: serving on %s (%d absorb workers, %d byte frame limit)",
 		ln.Addr(), s.cfg.Workers, s.cfg.MaxPayload)
@@ -266,6 +310,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-drained
+	}
+	if s.relay != nil {
+		// The relay timer stopped when quit closed; with every
+		// connection drained (all absorbs acked), one final flush
+		// pushes whatever is still dirty upstream — a cleanly-stopped
+		// shard leaves nothing behind.
+		s.relay.wg.Wait()
+		if started {
+			s.drainRelay()
+		}
 	}
 	if started {
 		close(s.jobs)
@@ -380,6 +434,17 @@ func (s *Server) writeAck(conn net.Conn, a wire.Ack) bool {
 
 // absorbSketch opens a pushed sketch envelope and merges it into its
 // (kind, config digest) group, creating the group on first contact.
+// Absorb merges one self-describing sketch envelope into the group
+// table without a network round trip — the in-process equivalent of a
+// site push. Embedders and the absorb benchmarks (gtbench -bench) use
+// it; the TCP path routes through the same code.
+func (s *Server) Absorb(envelope []byte) error {
+	if ack := s.absorbSketch(envelope); ack.Code != wire.AckOK {
+		return fmt.Errorf("server: absorb refused: %s: %s", ack.Code, ack.Detail)
+	}
+	return nil
+}
+
 func (s *Server) absorbSketch(payload []byte) wire.Ack {
 	sk, err := sketch.Open(payload)
 	if err != nil {
@@ -421,11 +486,25 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 	} else {
 		merr = g.sk.Merge(sk)
 	}
+	var nudgeRelay bool
 	if merr == nil {
 		g.absorbed++
 		g.bytes += int64(len(payload))
+		if s.relay != nil {
+			g.pendingRelay++
+			nudgeRelay = g.relayDirty(s.relay)
+		}
 	}
 	g.mu.Unlock()
+	if nudgeRelay {
+		// A hot group crossed the relay threshold: wake the flush loop
+		// without blocking the absorb path (a full channel means a
+		// flush is already pending).
+		select {
+		case s.relay.flushNow <- struct{}{}:
+		default:
+		}
+	}
 	if merr != nil {
 		// Unreachable while groups are keyed by config digest (equal
 		// digest means mergeable), but a future key relaxation must not
@@ -544,4 +623,52 @@ func (s *Server) SnapshotGroup(seed uint64) ([]byte, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.sk.MarshalBinary()
+}
+
+// GroupSnapshot is one merge group's portable state: its identity
+// plus the self-describing envelope of its merged sketch — the exact
+// bytes the group relays upstream, migrates to a new owner, or a site
+// holding the whole group union would have pushed.
+type GroupSnapshot struct {
+	Kind     sketch.Kind
+	KindName string
+	Digest   uint64
+	Seed     uint64
+	Envelope []byte
+}
+
+// Snapshots returns every group's snapshot, sorted by (kind, digest)
+// so two coordinators holding the same groups produce comparable
+// slices. Unlike per-group SnapshotGroup lookups it is linear in the
+// group count, which is what lets the cluster tests compare 10^5
+// groups between a sharded tier and a single coordinator.
+func (s *Server) Snapshots() ([]GroupSnapshot, error) {
+	s.mu.Lock()
+	groups := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+
+	out := make([]GroupSnapshot, 0, len(groups))
+	for _, g := range groups {
+		g.mu.Lock()
+		snap := GroupSnapshot{Kind: g.kind, KindName: g.name, Digest: g.digest, Seed: g.seed}
+		var err error
+		if g.sk != nil {
+			snap.Envelope, err = sketch.Envelope(g.sk)
+		}
+		g.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("server: snapshotting group %s/%016x: %w", snap.KindName, snap.Digest, err)
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out, nil
 }

@@ -67,24 +67,72 @@ type GroupStats struct {
 	// Params holds kind-specific dimensions and accuracy targets, for
 	// kinds that describe themselves (sketch.Describer).
 	Params map[string]any `json:"params,omitempty"`
+	// RelayPushes counts acked upstream pushes of this group's merged
+	// envelope (relay mode only); PendingRelay counts absorbs not yet
+	// covered by an acked push.
+	RelayPushes  int64 `json:"relay_pushes,omitempty"`
+	PendingRelay int64 `json:"pending_relay,omitempty"`
+	// OwnerShard and Owned report the group's consistent-hash-ring
+	// assignment when the coordinator knows its cluster position
+	// (Config.Cluster): the owning shard index, and whether that is
+	// this coordinator. A false Owned flags a misrouted group —
+	// harmless to correctness (merges are idempotent) but a sign the
+	// pushing fleet disagrees about the ring.
+	OwnerShard *int  `json:"owner_shard,omitempty"`
+	Owned      *bool `json:"owned,omitempty"`
+}
+
+// RelayStats is the /statsz section a relay coordinator adds: the
+// upstream identity and the flush loop's counters.
+type RelayStats struct {
+	Upstream string `json:"upstream"`
+	// Flushes counts flush rounds started; FlushSkips rounds skipped
+	// because one was already running.
+	Flushes    int64 `json:"flushes"`
+	FlushSkips int64 `json:"flush_skips"`
+	// GroupsPushed counts acked per-group upstream pushes across all
+	// rounds; BytesPushed their envelope bytes.
+	GroupsPushed int64 `json:"groups_pushed"`
+	BytesPushed  int64 `json:"bytes_pushed"`
+	// PushErrors counts failed rounds and failed per-group pushes;
+	// LastError is the most recent failure's message.
+	PushErrors int64  `json:"push_errors"`
+	LastError  string `json:"last_error,omitempty"`
+	// DrainFlushed reports whether the shutdown drain flush ran, and
+	// DrainGroups how many groups it delivered.
+	DrainFlushed bool  `json:"drain_flushed"`
+	DrainGroups  int64 `json:"drain_groups"`
+}
+
+// ClusterStats is the /statsz section a ring-aware coordinator adds.
+type ClusterStats struct {
+	Shard    int    `json:"shard"`
+	Shards   int    `json:"shards"`
+	RingSeed uint64 `json:"ring_seed"`
+	// GroupsOwned and GroupsForeign partition the coordinator's groups
+	// by ring ownership (only when Config.Cluster.Owner is set).
+	GroupsOwned   int64 `json:"groups_owned"`
+	GroupsForeign int64 `json:"groups_foreign"`
 }
 
 // Stats is the introspection snapshot served at /statsz and over
 // MsgStats frames.
 type Stats struct {
-	ConnsAccepted    int64        `json:"conns_accepted"`
-	ActiveConns      int64        `json:"active_conns"`
-	FramesRead       int64        `json:"frames_read"`
-	BytesRead        int64        `json:"bytes_read"`
-	SketchesAbsorbed int64        `json:"sketches_absorbed"`
-	SketchBytes      int64        `json:"sketch_bytes"`
-	QueriesServed    int64        `json:"queries_served"`
-	Rejected         int64        `json:"rejected"`
-	Merges           int64        `json:"merges"`
-	MergeNanosTotal  int64        `json:"merge_nanos_total"`
-	MergeNanosMax    int64        `json:"merge_nanos_max"`
-	MergeNanosMean   float64      `json:"merge_nanos_mean"`
-	Groups           []GroupStats `json:"groups"`
+	ConnsAccepted    int64         `json:"conns_accepted"`
+	ActiveConns      int64         `json:"active_conns"`
+	FramesRead       int64         `json:"frames_read"`
+	BytesRead        int64         `json:"bytes_read"`
+	SketchesAbsorbed int64         `json:"sketches_absorbed"`
+	SketchBytes      int64         `json:"sketch_bytes"`
+	QueriesServed    int64         `json:"queries_served"`
+	Rejected         int64         `json:"rejected"`
+	Merges           int64         `json:"merges"`
+	MergeNanosTotal  int64         `json:"merge_nanos_total"`
+	MergeNanosMax    int64         `json:"merge_nanos_max"`
+	MergeNanosMean   float64       `json:"merge_nanos_mean"`
+	Relay            *RelayStats   `json:"relay,omitempty"`
+	Cluster          *ClusterStats `json:"cluster,omitempty"`
+	Groups           []GroupStats  `json:"groups"`
 }
 
 // Stats returns a consistent snapshot of the server's counters and
@@ -107,6 +155,25 @@ func (s *Server) Stats() Stats {
 	if st.Merges > 0 {
 		st.MergeNanosMean = float64(st.MergeNanosTotal) / float64(st.Merges)
 	}
+	if r := s.relay; r != nil {
+		rs := &RelayStats{
+			Upstream:     r.cfg.Upstream,
+			Flushes:      r.flushes.Load(),
+			FlushSkips:   r.flushSkips.Load(),
+			GroupsPushed: r.groupsSent.Load(),
+			BytesPushed:  r.bytesSent.Load(),
+			PushErrors:   r.pushErrors.Load(),
+			DrainFlushed: r.drainFlush.Load(),
+			DrainGroups:  r.drainGroups.Load(),
+		}
+		if v, ok := r.lastErr.Load().(string); ok {
+			rs.LastError = v
+		}
+		st.Relay = rs
+	}
+	if c := s.cfg.Cluster; c != nil {
+		st.Cluster = &ClusterStats{Shard: c.Shard, Shards: c.Shards, RingSeed: c.RingSeed}
+	}
 
 	s.mu.Lock()
 	groups := make([]*group, 0, len(s.groups))
@@ -123,6 +190,8 @@ func (s *Server) Stats() Stats {
 		g.mu.Lock()
 		gs.SketchesAbsorbed = g.absorbed
 		gs.SketchBytes = g.bytes
+		gs.RelayPushes = g.relayPushes
+		gs.PendingRelay = g.pendingRelay
 		if g.sk != nil {
 			if v := g.sk.Estimate(); !math.IsNaN(v) && !math.IsInf(v, 0) {
 				gs.DistinctEstimate = v
@@ -132,6 +201,16 @@ func (s *Server) Stats() Stats {
 			}
 		}
 		g.mu.Unlock()
+		if c := s.cfg.Cluster; c != nil && c.Owner != nil {
+			owner := c.Owner(uint8(g.kind), g.digest)
+			owned := owner == c.Shard
+			gs.OwnerShard, gs.Owned = &owner, &owned
+			if owned {
+				st.Cluster.GroupsOwned++
+			} else {
+				st.Cluster.GroupsForeign++
+			}
+		}
 		st.Groups = append(st.Groups, gs)
 	}
 	sort.Slice(st.Groups, func(i, j int) bool {

@@ -64,6 +64,17 @@ func PeekKind(b []byte) (Kind, bool) {
 	return Kind(b[2]), true
 }
 
+// PeekHeader reads the kind tag and config digest from an envelope
+// without decoding the payload — enough to route the envelope (a
+// merge group is identified by exactly this pair) without paying for
+// a decode. It reports false when b is not even a plausible envelope.
+func PeekHeader(b []byte) (kind Kind, digest uint64, ok bool) {
+	if len(b) < EnvelopeHeaderSize || b[0] != EnvelopeMagic0 || b[1] != EnvelopeMagic1 {
+		return 0, 0, false
+	}
+	return Kind(b[2]), binary.LittleEndian.Uint64(b[4:12]), true
+}
+
 // Open decodes an envelope into a fresh sketch. It validates the
 // magic, routes by kind through the registry, checks the format
 // version, decodes the payload, and finally cross-checks the decoded
