@@ -24,6 +24,13 @@ GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.3}"
 echo "== go vet =="
 go vet ./...
 
+echo "== lockorder golden suite =="
+# The deadlock analyzer's pinned scenarios (cross-package ordering
+# cycle, self-deadlock, blocking-while-locked, lockorder:allow escape)
+# plus the .vetx two-run fact round-trip run first and by name: the
+# whole-module verdict below is only as good as these fixtures.
+go test -count=1 ./internal/analysis/lockorder
+
 echo "== unionlint self-test (golden suites) =="
 # The linter's own analysistest suites run before the linter is trusted
 # with the tree: a broken analyzer must fail loudly here, not silently
@@ -48,9 +55,19 @@ if ! go vet -vettool="$UNIONLINT" ./... 2>"$UNIONLINT_OUT"; then
     echo "ci.sh: fact-driven analyzers: kindcheck (registry tags/sentinels)," \
          "ackcontract (// ackclass: transient/permanent), mergepure" \
          "(// mergepure:seam for reviewed nondeterminism), failpointcheck" \
-         "(declared failpoint sites); see README 'Static analysis'."
+         "(declared failpoint sites), lockorder (deadlock/ordering/" \
+         "blocking-while-locked over // guards: mutexes; reviewed waits" \
+         "take // lockorder:allow <reason>); see README 'Static analysis'."
     exit 1
 fi
+
+echo "== unionlint JSONL report (lint/report.jsonl) =="
+# The full standalone run's machine-readable findings, tracked as a
+# trend artifact: a clean tree commits an empty file, and any future
+# findings show up in review as a diff of lint/report.jsonl. The
+# vettool gate above already failed on violations, so this run is
+# expected clean; -json exits 1 on findings, which still fails here.
+"$UNIONLINT" -json ./... > lint/report.jsonl
 
 echo "== staticcheck (optional, pinned $STATICCHECK_VERSION) =="
 if [[ "${CI_INSTALL_TOOLS:-0}" == "1" ]] && ! command -v staticcheck >/dev/null; then

@@ -5,6 +5,7 @@
 //
 //	gtbench [-e E1,E3] [-seed N] [-trials N] [-quick] [-csv DIR] [-list]
 //	gtbench -bench BENCH_absorb.json
+//	gtbench -bench-relay BENCH_relay.json
 //
 // With no -e flag every experiment runs, in order. -csv additionally
 // writes each table as a CSV file into DIR for plotting. -bench skips
@@ -12,6 +13,9 @@
 // microbenchmarks (server absorb ns/op and MB/s, raw sketch merge,
 // envelope decode, per registered kind), writing a JSON report — the
 // checked-in snapshot lives at BENCH_absorb.json in the repo root.
+// -bench-relay does the same for the sharded tier's hot paths (relay
+// FlushRelay rounds and client.PushBatch over loopback TCP), writing
+// the BENCH_relay.json snapshot.
 package main
 
 import (
@@ -32,11 +36,19 @@ func main() {
 		csvDir      = flag.String("csv", "", "directory to write per-table CSV files")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		bench       = flag.String("bench", "", "run the absorb/merge/decode microbenchmarks and write JSON to FILE ('-' = stdout)")
+		benchRelay  = flag.String("bench-relay", "", "run the relay-flush/PushBatch microbenchmarks and write JSON to FILE ('-' = stdout)")
 	)
 	flag.Parse()
 
 	if *bench != "" {
 		if err := runBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchRelay != "" {
+		if err := runBenchRelay(*benchRelay); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench:", err)
 			os.Exit(1)
 		}

@@ -1,6 +1,6 @@
-// Command unionlint is the repository's static-analysis suite: nine
+// Command unionlint is the repository's static-analysis suite: ten
 // analyzers encoding the invariants the coordinated-sampling scheme
-// depends on (seedcheck, lockcheck, floatcmp, errcontract,
+// depends on (seedcheck, lockcheck, lockorder, floatcmp, errcontract,
 // hotpathalloc, kindcheck, mergepure, ackcontract, failpointcheck —
 // see `unionlint -help` or README "Static analysis").
 //

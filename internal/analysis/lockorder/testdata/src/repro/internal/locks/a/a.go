@@ -1,0 +1,21 @@
+// Package a owns an exported guards-annotated mutex that downstream
+// packages lock both through LockA and (unwisely) directly.
+package a
+
+import "sync"
+
+// Alpha is shared state with an exported mutex.
+type Alpha struct {
+	Mu sync.Mutex // guards: N
+	N  int
+}
+
+// Shared is the package's instance.
+var Shared Alpha
+
+// LockA bumps the counter under Mu.
+func LockA() {
+	Shared.Mu.Lock()
+	Shared.N++
+	Shared.Mu.Unlock()
+}

@@ -1,0 +1,55 @@
+// Package b establishes the Beta.mu → Alpha.Mu ordering edge that
+// package c will close into a cycle, and hosts the two local
+// self-deadlock shapes.
+package b
+
+import (
+	"sync"
+
+	"repro/internal/locks/a"
+)
+
+// Beta is this package's locked state.
+type Beta struct {
+	mu sync.Mutex // guards: n
+	n  int
+}
+
+var shared Beta
+
+// BThenA locks Beta.mu and then calls into a, which locks Alpha.Mu:
+// the ordering edge this package exports in its LockGraph fact.
+func BThenA() {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	a.LockA()
+}
+
+// LockB takes only Beta.mu (package c calls it while holding Alpha.Mu
+// to close the cycle).
+func LockB() {
+	shared.mu.Lock()
+	shared.n++
+	shared.mu.Unlock()
+}
+
+// DoubleLock re-locks the mutex it already holds.
+func DoubleLock() {
+	shared.mu.Lock()
+	shared.mu.Lock() // want "self-deadlock"
+	shared.mu.Unlock()
+}
+
+// Reacquire holds Beta.mu across a call to a helper that locks it
+// again.
+func Reacquire() {
+	shared.mu.Lock()
+	bump() // want "self-deadlock"
+	shared.mu.Unlock()
+}
+
+func bump() {
+	shared.mu.Lock()
+	shared.n++
+	shared.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+// Package blocking exports a function whose LockSummary fact carries
+// a Blocks reason, like client.Push in the real tree.
+package blocking
+
+import "time"
+
+// Upstream simulates a push that stalls on the network.
+func Upstream() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,27 @@
+// Package c imports both lock owners and closes the cross-package
+// ordering cycle: b established Beta.mu → Alpha.Mu, and AThenB here
+// acquires Beta.mu while holding Alpha.Mu. Neither a nor b can see
+// the cycle alone — only the facts make it reportable.
+package c
+
+import (
+	"repro/internal/locks/a"
+	"repro/internal/locks/b"
+)
+
+// AThenB locks Alpha.Mu directly (resolved through a's GuardedMutexes
+// fact) and then enters b.
+func AThenB() {
+	a.Shared.Mu.Lock()
+	defer a.Shared.Mu.Unlock()
+	b.LockB() // want "lock ordering cycle"
+}
+
+// Twice holds Alpha.Mu across a call that re-acquires it — the
+// cross-package self-deadlock, visible only through a.LockA's
+// imported LockSummary fact.
+func Twice() {
+	a.Shared.Mu.Lock()
+	defer a.Shared.Mu.Unlock()
+	a.LockA() // want "self-deadlock"
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/kindcheck"
 	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/mergepure"
 	"repro/internal/analysis/seedcheck"
 )
@@ -27,6 +28,7 @@ func Analyzers() []*analysis.Analyzer {
 		hotpathalloc.Analyzer,
 		kindcheck.Analyzer,
 		lockcheck.Analyzer,
+		lockorder.Analyzer,
 		mergepure.Analyzer,
 		seedcheck.Analyzer,
 	}

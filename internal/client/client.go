@@ -102,7 +102,7 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg Config
 
-	mu  sync.Mutex
+	mu  sync.Mutex // guards: rng
 	rng *rand.Rand
 }
 

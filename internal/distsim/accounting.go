@@ -16,7 +16,7 @@ type Accountant interface {
 // per-site message bytes. It is safe for concurrent use — sites
 // finish (and therefore report) in arbitrary order.
 type ByteAccountant struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: perSite, messages, total, maxMsg
 	perSite  map[int]int64
 	messages int
 	total    int64
