@@ -148,11 +148,37 @@ if ((${#CLUSTER_FAILED[@]})); then
     exit 1
 fi
 
+echo "== WAL crash-recovery matrix (every wal/* failpoint + torn tail, seeds 1..3, -race) =="
+# The durability tentpole: a coordinator killed at each wal/append,
+# wal/fsync, wal/rotate, wal/snapshot, and wal/replay failpoint — plus
+# a torn-tail crash — must reboot from its log and converge
+# bit-identically to an uninterrupted control, in the single, relay,
+# and 3-shard cluster topologies (internal/server/recovery_test.go and
+# internal/distnet/recovery_test.go).
+RECOVERY_FAILED=()
+for seed in 1 2 3; do
+    echo "-- recovery chaos.seed=$seed --"
+    if ! go test -race -run 'TestWALRecovery|TestWALClusterParentCrashRecovery' \
+            ./internal/server ./internal/distnet -chaos.seed="$seed"; then
+        RECOVERY_FAILED+=("$seed")
+    fi
+done
+if ((${#RECOVERY_FAILED[@]})); then
+    echo "ci.sh: WAL recovery matrix failed for seed(s): ${RECOVERY_FAILED[*]}."
+    echo "ci.sh: the log lives in internal/wal, the server wiring (log-before-ack," \
+         "seal barrier, replay-before-accept) in internal/server/wal.go; replay one" \
+         "seed with: go test -race -run TestWALRecovery ./internal/server -chaos.seed=<seed>"
+    exit 1
+fi
+
 # BENCH_absorb.json (repo root) is the checked-in coordinator-path
 # microbenchmark snapshot (absorb ns/op and MB/s, merge, envelope
 # decode, per kind). It is not gated here — timings are machine-
 # dependent — regenerate it on a quiet machine with:
 #   go run ./cmd/gtbench -bench BENCH_absorb.json
+# BENCH_wal.json is the same kind of snapshot for the durability layer
+# (append ns/op with and without fsync, replay MB/s):
+#   go run ./cmd/gtbench -bench-wal BENCH_wal.json
 
 echo "== fuzz smoke: FuzzWireDecode (10s) =="
 # A short bounded run of the wire-format fuzzer: enough to catch a
@@ -170,5 +196,13 @@ echo "== fuzz smoke: FuzzSketchOpen (10s) =="
 # the sketch registry: no input may panic it, and every accepted input
 # must re-encode to an identical envelope header.
 go test -run='^$' -fuzz='^FuzzSketchOpen$' -fuzztime=10s ./internal/sketch
+
+echo "== fuzz smoke: FuzzWALReplay (10s) =="
+# And for the WAL segment decoder and Open/Replay recovery path, which
+# replays the wire fuzzer's shared corpus plus torn and bit-flipped
+# segments: no bytes on disk may panic a boot, damage must classify as
+# ErrDamaged at a deterministic clean offset, and the truncated log
+# must accept appends afterwards.
+go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime=10s ./internal/wal
 
 echo "ci.sh: all checks passed"

@@ -6,6 +6,7 @@
 //	gtbench [-e E1,E3] [-seed N] [-trials N] [-quick] [-csv DIR] [-list]
 //	gtbench -bench BENCH_absorb.json
 //	gtbench -bench-relay BENCH_relay.json
+//	gtbench -bench-wal BENCH_wal.json
 //
 // With no -e flag every experiment runs, in order. -csv additionally
 // writes each table as a CSV file into DIR for plotting. -bench skips
@@ -15,7 +16,9 @@
 // checked-in snapshot lives at BENCH_absorb.json in the repo root.
 // -bench-relay does the same for the sharded tier's hot paths (relay
 // FlushRelay rounds and client.PushBatch over loopback TCP), writing
-// the BENCH_relay.json snapshot.
+// the BENCH_relay.json snapshot. -bench-wal prices the durability
+// layer (envelope Append with and without per-record fsync, full-log
+// Open+Replay throughput), writing the BENCH_wal.json snapshot.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 		list        = flag.Bool("list", false, "list experiments and exit")
 		bench       = flag.String("bench", "", "run the absorb/merge/decode microbenchmarks and write JSON to FILE ('-' = stdout)")
 		benchRelay  = flag.String("bench-relay", "", "run the relay-flush/PushBatch microbenchmarks and write JSON to FILE ('-' = stdout)")
+		benchWAL    = flag.String("bench-wal", "", "run the WAL append/replay microbenchmarks and write JSON to FILE ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -49,6 +53,13 @@ func main() {
 	}
 	if *benchRelay != "" {
 		if err := runBenchRelay(*benchRelay); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchWAL != "" {
+		if err := runBenchWAL(*benchWAL); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench:", err)
 			os.Exit(1)
 		}

@@ -12,6 +12,8 @@
 //	             [-max-frame BYTES] [-quiet]
 //	             [-relay-to host:7600] [-relay-interval 1s] [-relay-after N]
 //	             [-shard I -shards N] [-ring-seed 42]
+//	             [-wal-dir DIR] [-wal-fsync always|never]
+//	             [-wal-segment-bytes N] [-snapshot-every 1m]
 //
 // With -relay-to the daemon is a mid-tier shard: it keeps absorbing
 // site pushes, and every -relay-interval (or as soon as any group
@@ -21,6 +23,15 @@
 // on the cluster's consistent-hash ring, surfaced per group in
 // /statsz so a misrouting fleet is visible. See README "Running a
 // cluster".
+//
+// With -wal-dir the daemon is durable: every accepted envelope is
+// appended to a segmented write-ahead log before it is acked, the
+// merged group state is snapshotted every -snapshot-every (truncating
+// the replayed prefix of the log), and a rebooted daemon replays
+// snapshot plus log before its listener accepts — so a crash between
+// ack and snapshot loses nothing. -wal-fsync never trades the
+// per-record fsync for speed at the cost of the OS page-cache window.
+// See README "Durability".
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight messages
 // finish absorbing and are acked — and a relay pushes everything
@@ -41,6 +52,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/wal"
 
 	// Register every sketch kind the daemon can absorb.
 	_ "repro/internal/sketch/kinds"
@@ -64,6 +76,11 @@ func main() {
 		shard         = flag.Int("shard", 0, "this coordinator's shard index on the cluster ring (with -shards)")
 		shards        = flag.Int("shards", 0, "total shard count on the cluster ring (0 = not clustered)")
 		ringSeed      = flag.Uint64("ring-seed", 42, "consistent-hash ring seed shared by shards and pushers (with -shards)")
+
+		walDir      = flag.String("wal-dir", "", "write-ahead-log directory for crash durability (empty = not durable)")
+		walFsync    = flag.String("wal-fsync", "always", "WAL fsync policy: always (fsync per record) or never (with -wal-dir)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this many bytes (0 = 4 MiB)")
+		snapEvery   = flag.Duration("snapshot-every", time.Minute, "merged-state snapshot period; snapshots truncate the replayed WAL (with -wal-dir)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -94,6 +111,19 @@ func main() {
 			Upstream:      *relayTo,
 			FlushInterval: *relayInterval,
 			FlushAfter:    *relayAfter,
+		}
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unionstreamd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.WAL = &server.WALConfig{
+			Dir:           *walDir,
+			SegmentBytes:  *walSegBytes,
+			Sync:          policy,
+			SnapshotEvery: *snapEvery,
 		}
 	}
 	if *shards > 0 {

@@ -41,6 +41,10 @@ type ClusterOptions struct {
 	IOTimeout   time.Duration
 	// ShutdownTimeout bounds each coordinator drain (default 10s).
 	ShutdownTimeout time.Duration
+	// ParentWAL, when non-nil, makes the parent durable: its accepted
+	// envelopes are logged and replayed across CrashParent /
+	// RestartParent — the sharded leg of the WAL recovery matrix.
+	ParentWAL *server.WALConfig
 	// InterceptShard rewrites the address sites dial to reach shard i;
 	// InterceptUpstream rewrites the parent address each shard's relay
 	// dials. The chaos suite routes both hops through faultnet proxies.
@@ -96,7 +100,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		return ln.Addr().String(), nil
 	}
 
-	c.Parent = server.New(server.Config{})
+	c.Parent = server.New(server.Config{WAL: opts.ParentWAL})
 	parentAddr, err := start(c.Parent, 0)
 	if err != nil {
 		return nil, err
@@ -224,6 +228,72 @@ func (c *Cluster) StopShard(i int) error {
 		err = serr
 	}
 	return err
+}
+
+// CrashParent kills the parent coordinator in place — crash switch,
+// no drain flush, no final WAL snapshot — and waits for its serve
+// loop to exit. The shards stay up; their flushes fail and their
+// groups stay dirty until RestartParent brings a recovered parent
+// back on the same address.
+func (c *Cluster) CrashParent() error {
+	c.Parent.Abort()
+	err := <-c.serveErrs[0]
+	// Refill the slot with a satisfied channel so Close stays
+	// well-formed even if the caller never restarts the parent.
+	ch := make(chan error, 1)
+	ch <- nil
+	c.serveErrs[0] = ch
+	return err
+}
+
+// RestartParent boots a fresh parent on the crashed one's address
+// with the same configuration — WAL directory included, so the new
+// daemon replays the old one's log before it accepts. The listen is
+// retried briefly in case the kernel is still releasing the port. It
+// returns once the parent has finished recovery, or returns the
+// recovery error if the new daemon refused to serve (the wal/replay
+// crash leg exercises exactly that refusal).
+func (c *Cluster) RestartParent() error {
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if ln, err = net.Listen("tcp", c.ParentAddr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("distnet: rebinding parent %s: %w", c.ParentAddr, err)
+	}
+	srv := server.New(server.Config{WAL: c.opts.ParentWAL})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case serr := <-done:
+			// Serve returned before recovery finished: boot refused.
+			// Leave a satisfied error slot so Close stays well-formed.
+			ch := make(chan error, 1)
+			ch <- nil
+			c.serveErrs[0] = ch
+			if serr == nil {
+				serr = errors.New("distnet: parent exited during restart")
+			}
+			return serr
+		default:
+		}
+		if st := srv.Stats(); st.WAL == nil || st.WAL.Recovered {
+			c.Parent = srv
+			c.serveErrs[0] = done
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("distnet: parent recovery never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // Close stops every live shard, then the parent. Shard drains run

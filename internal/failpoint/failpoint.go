@@ -61,6 +61,26 @@ const (
 	// migration; an error fails that group's move (the caller retries
 	// — duplicate re-pushes are idempotent).
 	ClusterMigrate = "cluster/migrate"
+	// WALAppend fires in wal.(*Log).Append before the record frame is
+	// written; an error fails the append (the absorb is refused with a
+	// transient ack and no group or log state changes).
+	WALAppend = "wal/append"
+	// WALFsync fires before each WAL fsync; an error fails the append
+	// after the bytes were written — the record may or may not survive
+	// a crash, which idempotent replay makes safe either way.
+	WALFsync = "wal/fsync"
+	// WALRotate fires before a full segment is rotated; an error skips
+	// the rotation (appends continue into the oversized segment and the
+	// next append retries).
+	WALRotate = "wal/rotate"
+	// WALSnapshot fires at the start of wal.(*Log).Snapshot, before the
+	// temp file is created; an error skips the snapshot round (segments
+	// are kept and the next round retries).
+	WALSnapshot = "wal/snapshot"
+	// WALReplay fires once before the snapshot and once before each
+	// segment is replayed at boot; an error aborts recovery (the
+	// coordinator refuses to serve rather than serve partial state).
+	WALReplay = "wal/replay"
 	// ClientDial fires before each dial attempt; an error counts as a
 	// transient dial failure (retried with backoff).
 	ClientDial = "client/dial"

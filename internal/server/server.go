@@ -68,6 +68,11 @@ type Config struct {
 	// upstream parent coordinator (see RelayConfig). Shutdown flushes
 	// every dirty group upstream before returning.
 	Relay *RelayConfig
+	// WAL, when non-nil, makes the coordinator durable: accepted
+	// envelopes are logged before they are merged or acked, and a
+	// rebooted coordinator replays the log to rebuild its groups
+	// before the listener accepts (see WALConfig).
+	WAL *WALConfig
 	// Cluster, when non-nil, describes this coordinator's place in a
 	// consistent-hash cluster for introspection: /statsz reports the
 	// shard identity and, per group, the ring owner — the fastest way
@@ -142,6 +147,7 @@ type Server struct {
 	jobs  chan *absorbJob
 	quit  chan struct{}
 	relay *relayState // nil unless cfg.Relay is set
+	wal   *walState   // nil unless cfg.WAL is set
 
 	workerWG sync.WaitGroup
 	connWG   sync.WaitGroup
@@ -174,6 +180,9 @@ func New(cfg Config) *Server {
 	if cfg.Relay != nil {
 		s.relay = newRelayState(*cfg.Relay)
 	}
+	if cfg.WAL != nil {
+		s.wal = &walState{cfg: *cfg.WAL}
+	}
 	return s
 }
 
@@ -193,8 +202,15 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Serve accepts connections on ln until Shutdown (or a fatal accept
-// error). It owns ln and closes it on return.
+// error). It owns ln and closes it on return. A durable coordinator
+// (Config.WAL) replays its log here, before the first accept: sites
+// only ever talk to a coordinator whose groups are fully rebuilt.
 func (s *Server) Serve(ln net.Listener) error {
+	if err := s.ensureRecovered(); err != nil {
+		// Refuse to serve rather than serve partial state.
+		ln.Close()
+		return err
+	}
 	s.mu.Lock()
 	if s.shutdown {
 		s.mu.Unlock()
@@ -219,6 +235,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		go s.relayLoop()
 		s.logf("unionstreamd: relaying merged groups to %s every %s",
 			s.relay.cfg.Upstream, s.relay.cfg.FlushInterval)
+	}
+	if s.wal != nil {
+		s.wal.wg.Add(1)
+		go s.walLoop()
+		s.logf("unionstreamd: logging accepted envelopes to %s (fsync %s)",
+			s.wal.cfg.Dir, s.wal.cfg.Sync)
 	}
 	s.logf("unionstreamd: serving on %s (%d absorb workers, %d byte frame limit)",
 		ln.Addr(), s.cfg.Workers, s.cfg.MaxPayload)
@@ -324,6 +346,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if started {
 		close(s.jobs)
 		s.workerWG.Wait()
+	}
+	if w := s.wal; w != nil && w.recovered.Load() {
+		// With every absorb drained and acked, one final snapshot
+		// captures the groups and prunes the log, so the next boot
+		// replays a snapshot instead of the whole history.
+		w.wg.Wait()
+		if _, serr := s.SnapshotWAL(); serr != nil {
+			s.logf("unionstreamd: shutdown wal snapshot: %v", serr)
+		}
+		w.log.Close()
 	}
 	s.logf("unionstreamd: shutdown complete (%d sketches absorbed)", s.stats.absorbed.Load())
 	return err
@@ -469,11 +501,38 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 		return wire.Ack{Code: wire.AckError, Detail: ferr.Error()}
 	}
 
+	if w := s.wal; w != nil {
+		// Log before merge, merge before ack. The envelope is appended
+		// and folded inside one seal read-window so a snapshot cannot
+		// prune the segment holding a logged-but-unmerged record (see
+		// walState.seal); an append failure refuses the push with a
+		// transient ack — an acked push the log cannot replay would be
+		// a durability lie.
+		if err := s.ensureRecovered(); err != nil {
+			return wire.Ack{Code: wire.AckError, Detail: err.Error()}
+		}
+		w.seal.RLock()
+		defer w.seal.RUnlock()
+		if err := w.log.Append(payload); err != nil {
+			w.appendErrors.Add(1)
+			w.lastErr.Store(err.Error())
+			return wire.Ack{Code: wire.AckError, Detail: err.Error()}
+		}
+	}
+	return s.foldIntoGroup(sk, info.Name, len(payload))
+}
+
+// foldIntoGroup merges one opened sketch into its (kind, digest)
+// group, creating the group on first contact. It is the shared tail
+// of the absorb path and of WAL replay — a replayed record must take
+// exactly the path the original push took, or recovery would not be
+// bit-identical.
+func (s *Server) foldIntoGroup(sk sketch.Sketch, kindName string, payloadLen int) wire.Ack {
 	key := groupKey{kind: sk.Kind(), digest: sk.Digest()}
 	s.mu.Lock()
 	g, ok := s.groups[key]
 	if !ok {
-		g = &group{kind: key.kind, name: info.Name, seed: sk.Seed(), digest: key.digest}
+		g = &group{kind: key.kind, name: kindName, seed: sk.Seed(), digest: key.digest}
 		s.groups[key] = g
 	}
 	s.mu.Unlock()
@@ -489,7 +548,7 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 	var nudgeRelay bool
 	if merr == nil {
 		g.absorbed++
-		g.bytes += int64(len(payload))
+		g.bytes += int64(payloadLen)
 		if s.relay != nil {
 			g.pendingRelay++
 			nudgeRelay = g.relayDirty(s.relay)
@@ -514,7 +573,7 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 		}
 		return wire.Ack{Code: wire.AckError, Detail: merr.Error()}
 	}
-	s.recordMerge(time.Since(start), int64(len(payload)))
+	s.recordMerge(time.Since(start), int64(payloadLen))
 	return wire.Ack{Code: wire.AckOK}
 }
 

@@ -132,6 +132,7 @@ type Stats struct {
 	MergeNanosMean   float64       `json:"merge_nanos_mean"`
 	Relay            *RelayStats   `json:"relay,omitempty"`
 	Cluster          *ClusterStats `json:"cluster,omitempty"`
+	WAL              *WALStats     `json:"wal,omitempty"`
 	Groups           []GroupStats  `json:"groups"`
 }
 
@@ -174,6 +175,7 @@ func (s *Server) Stats() Stats {
 	if c := s.cfg.Cluster; c != nil {
 		st.Cluster = &ClusterStats{Shard: c.Shard, Shards: c.Shards, RingSeed: c.RingSeed}
 	}
+	st.WAL = s.walStats()
 
 	s.mu.Lock()
 	groups := make([]*group, 0, len(s.groups))

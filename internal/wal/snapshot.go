@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/failpoint"
+	"repro/internal/wire"
+)
+
+// Snapshot durably writes one merged envelope per group and prunes
+// every segment below cut, the active segment index at the moment the
+// caller collected that state (CurrentSegment). The caller guarantees
+// the envelopes cover every record in segments below cut — the
+// server's seal barrier provides exactly that — while records still
+// in flight to the active segment survive in it and replay after the
+// snapshot, where idempotent joins absorb the overlap.
+//
+// The write is atomic: envelopes go to a temp file which is fsynced,
+// renamed into place, and followed by a directory fsync. A crash at
+// any point leaves either the old recovery state (temp files and
+// stale snapshots are discarded at Open) or the new one — never a
+// half-snapshot that prunes what it does not cover, because the prune
+// happens strictly after the rename.
+func (l *Log) Snapshot(cut uint64, envelopes [][]byte) error {
+	if err := failpoint.Inject(failpoint.WALSnapshot); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	l.mu.Lock()
+	switch {
+	case l.closed:
+		l.mu.Unlock()
+		return ErrClosed
+	case !l.replayed:
+		l.mu.Unlock()
+		return ErrNotReplayed
+	}
+	l.mu.Unlock()
+	if prev := l.snapSeg.Load(); cut < prev {
+		return fmt.Errorf("wal: snapshot cut %d behind live snapshot %d", cut, prev)
+	}
+
+	final := filepath.Join(l.dir, snapName(cut))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	for _, env := range envelopes {
+		if _, err := f.Write(wire.EncodeFrame(wire.MsgPush, env)); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: snapshot write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	l.syncDir()
+
+	// The snapshot is live; everything it supersedes can go. A crash
+	// from here on just leaves garbage for the next Open to collect.
+	prev := l.snapSeg.Load()
+	l.snapSeg.Store(cut)
+	l.snapshots.Add(1)
+	l.snapGroups.Store(int64(len(envelopes)))
+	if prev > 0 && prev != cut {
+		os.Remove(filepath.Join(l.dir, snapName(prev)))
+	}
+	l.prune(cut)
+	return nil
+}
+
+// prune removes segment files strictly below cut and updates the live
+// segment count.
+func (l *Log) prune(cut uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	var pruned, live int64
+	for _, e := range entries {
+		idx, ok := parseIndexed(e.Name(), segPrefix, segSuffix)
+		if !ok {
+			continue
+		}
+		if idx < cut {
+			if os.Remove(filepath.Join(l.dir, e.Name())) == nil {
+				pruned++
+				continue
+			}
+		}
+		live++
+	}
+	l.prunedSegs.Add(pruned)
+	l.mu.Lock()
+	l.liveSegs = live
+	l.mu.Unlock()
+	l.syncDir()
+}

@@ -1,0 +1,375 @@
+package wal_test
+
+// Unit suite for the durability layer in isolation: append/replay
+// round-trips, segment rotation, snapshot+prune, torn-tail truncation
+// at Open, and the replay-before-append discipline. The server-level
+// crash matrix (internal/server/recovery_test.go) exercises the same
+// machinery end to end through failpoints.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/sketch/kmv"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// walEnvelopes builds n envelopes in n distinct kmv merge groups.
+func walEnvelopes(t *testing.T, n int) [][]byte {
+	t.Helper()
+	envs := make([][]byte, n)
+	for i := range envs {
+		sk := kmv.New(4, uint64(7000+i))
+		for x := uint64(0); x < 16; x++ {
+			sk.Process(x*11 + uint64(i))
+		}
+		env, err := sketch.Envelope(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs[i] = env
+	}
+	return envs
+}
+
+// openReplayed opens a log in dir and runs an empty-log replay so
+// appends are allowed.
+func openReplayed(t *testing.T, dir string, opts wal.Options) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// collect replays a fresh Open of dir and returns the envelopes in
+// replay order.
+func collect(t *testing.T, dir string, opts wal.Options) (*wal.Log, [][]byte, wal.ReplayStats) {
+	t.Helper()
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	st, err := l.Replay(func(env []byte) error {
+		got = append(got, append([]byte(nil), env...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, got, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	envs := walEnvelopes(t, 8)
+	l := openReplayed(t, dir, wal.Options{})
+	for _, env := range envs {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, st := collect(t, dir, wal.Options{})
+	defer l2.Close()
+	if len(got) != len(envs) {
+		t.Fatalf("replayed %d records, appended %d", len(got), len(envs))
+	}
+	for i := range envs {
+		if !bytes.Equal(got[i], envs[i]) {
+			t.Fatalf("record %d: replay differs from append", i)
+		}
+	}
+	if st.Damaged {
+		t.Fatalf("clean log reported damage in %s", st.DamagedFile)
+	}
+	if st.Records != int64(len(envs)) {
+		t.Fatalf("ReplayStats.Records = %d, want %d", st.Records, len(envs))
+	}
+}
+
+func TestAppendBeforeReplayRefused(t *testing.T) {
+	l, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("x")); !errors.Is(err, wal.ErrNotReplayed) {
+		t.Fatalf("append before replay: err = %v, want ErrNotReplayed", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	envs := walEnvelopes(t, 12)
+	// Rotate roughly every other record.
+	opts := wal.Options{SegmentBytes: int64(2 * (len(envs[0]) + wire.HeaderSize))}
+	l := openReplayed(t, dir, opts)
+	for _, env := range envs {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotations after %d appends with SegmentBytes=%d", len(envs), opts.SegmentBytes)
+	}
+	if st.LiveSegments < 2 {
+		t.Fatalf("LiveSegments = %d after rotation", st.LiveSegments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must stitch the segments back together in order.
+	l2, got, _ := collect(t, dir, opts)
+	defer l2.Close()
+	if len(got) != len(envs) {
+		t.Fatalf("replayed %d records across segments, appended %d", len(got), len(envs))
+	}
+	for i := range envs {
+		if !bytes.Equal(got[i], envs[i]) {
+			t.Fatalf("record %d out of order or damaged after rotation", i)
+		}
+	}
+}
+
+func TestSnapshotPrunesAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	envs := walEnvelopes(t, 6)
+	opts := wal.Options{SegmentBytes: int64(2 * (len(envs[0]) + wire.HeaderSize))}
+	l := openReplayed(t, dir, opts)
+	for _, env := range envs[:4] {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot "merged state" standing in for the first four records.
+	cut := l.CurrentSegment()
+	if err := l.Snapshot(cut, envs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Snapshots != 1 || st.LastSnapshotGroups != 4 {
+		t.Fatalf("snapshot stats = %+v", st)
+	}
+	if st.PrunedSegments == 0 {
+		t.Fatalf("snapshot at cut %d pruned nothing (stats %+v)", cut, st)
+	}
+	// Tail records after the snapshot.
+	for _, env := range envs[4:] {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, rst := collect(t, dir, opts)
+	defer l2.Close()
+	if rst.SnapshotGroups != 4 {
+		t.Fatalf("replayed %d snapshot groups, want 4", rst.SnapshotGroups)
+	}
+	// Snapshot first, then the surviving tail; the tail may also
+	// re-deliver pre-snapshot records from the cut segment — the
+	// at-least-once overlap idempotent joins absorb. Every envelope we
+	// appended must appear at least once.
+	seen := make(map[string]bool, len(got))
+	for _, env := range got {
+		seen[string(env)] = true
+	}
+	for i, env := range envs {
+		if !seen[string(env)] {
+			t.Fatalf("record %d lost across snapshot+replay", i)
+		}
+	}
+}
+
+func TestSnapshotCutBehindLiveRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := openReplayed(t, dir, wal.Options{})
+	defer l.Close()
+	if err := l.Snapshot(l.CurrentSegment(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(l.CurrentSegment()-1, nil); err == nil {
+		t.Fatal("snapshot with a stale cut was accepted")
+	}
+}
+
+func TestTornTailTruncatedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	envs := walEnvelopes(t, 3)
+	l := openReplayed(t, dir, wal.Options{})
+	for _, env := range envs {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record mid-frame, the shape a crash mid-append
+	// leaves on disk.
+	seg := onlySegment(t, dir)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, st := collect(t, dir, wal.Options{})
+	defer l2.Close()
+	if len(got) != len(envs)-1 {
+		t.Fatalf("replayed %d records after torn tail, want %d", len(got), len(envs)-1)
+	}
+	if st.Damaged {
+		t.Fatal("a truncated tail must be cut at Open, not reported as mid-log damage")
+	}
+	if l2.Stats().TruncatedTailBytes == 0 {
+		t.Fatal("TruncatedTailBytes = 0 after torn-tail recovery")
+	}
+	// The log must accept appends right where the clean prefix ends.
+	if err := l2.Append(envs[2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidLogDamageStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	envs := walEnvelopes(t, 4)
+	l := openReplayed(t, dir, wal.Options{})
+	for _, env := range envs {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload bit in the SECOND record: the CRC catches it, and
+	// replay must deliver record 1 then stop — never interpreting the
+	// damaged record or anything after it.
+	seg := onlySegment(t, dir)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wire.HeaderSize + len(envs[0])
+	b[rec+wire.HeaderSize+3] ^= 0x40
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, _ := collect(t, dir, wal.Options{})
+	defer l2.Close()
+	if len(got) != 1 || !bytes.Equal(got[0], envs[0]) {
+		t.Fatalf("replayed %d records past mid-log damage, want exactly the first", len(got))
+	}
+	if l2.Stats().TruncatedTailBytes == 0 {
+		t.Fatal("bit-flip damage reached replay instead of being truncated at Open")
+	}
+}
+
+func TestCrashLeftoversCollectedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	envs := walEnvelopes(t, 2)
+	l := openReplayed(t, dir, wal.Options{})
+	for _, env := range envs {
+		if err := l.Append(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := l.CurrentSegment()
+	if err := l.Snapshot(cut, envs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the debris a crash can leave: a half-written temp
+	// snapshot, and a stale segment below the live cut (as if the
+	// crash hit between rename and prune).
+	if err := os.WriteFile(filepath.Join(dir, "snap-99999999.snap.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "wal-00000000.seg")
+	if err := os.WriteFile(stale, wire.EncodeFrame(wire.MsgPush, envs[0]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, _ := collect(t, dir, wal.Options{})
+	defer l2.Close()
+	if len(got) < 2 {
+		t.Fatalf("replayed %d records, want the 2 snapshot groups", len(got))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp snapshot %s survived Open", e.Name())
+		}
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale pre-snapshot segment survived Open (err=%v)", err)
+	}
+}
+
+func TestReplayTwiceRefused(t *testing.T) {
+	l := openReplayed(t, t.TempDir(), wal.Options{})
+	defer l.Close()
+	if _, err := l.Replay(func([]byte) error { return nil }); err == nil {
+		t.Fatal("second Replay on the same Log was accepted")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want wal.SyncPolicy
+		ok   bool
+	}{
+		{"always", wal.SyncAlways, true},
+		{"never", wal.SyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := wal.ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if s := wal.SyncAlways.String(); s != "always" {
+		t.Errorf("SyncAlways.String() = %q", s)
+	}
+}
+
+// onlySegment returns the path of the single segment file in dir.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one segment, got %v (err=%v)", matches, err)
+	}
+	return matches[0]
+}
