@@ -148,6 +148,31 @@ if ((${#CLUSTER_FAILED[@]})); then
     exit 1
 fi
 
+echo "== set-expression queries (3 named streams, 3 shards -> parent, seeds 1..3, -race) =="
+# The set-expression acceptance leg: three named streams pushed across
+# a 3-shard ring (placement varies with the seed), nested expression
+# queries — (A∪B)∩C, A\B, Jaccard — routed shard- or parent-side, and
+# every answer must be float64-identical to a local evaluation through
+# internal/core's set operations, with the parent bit-identical to a
+# single coordinator absorbing the same named pushes directly
+# (internal/distnet/expr_test.go).
+EXPR_FAILED=()
+for seed in 1 2 3; do
+    echo "-- expr chaos.seed=$seed --"
+    if ! go test -race -run 'TestExprShardedCluster' \
+            ./internal/distnet -chaos.seed="$seed"; then
+        EXPR_FAILED+=("$seed")
+    fi
+done
+if ((${#EXPR_FAILED[@]})); then
+    echo "ci.sh: set-expression leg failed for seed(s): ${EXPR_FAILED[*]}."
+    echo "ci.sh: the expression evaluator lives in internal/server/expr.go, the" \
+         "QueryExpr routing in internal/client/sharded.go, the stream-carrying" \
+         "relay in internal/server/relay.go; replay one seed with:" \
+         "go test -race -run TestExprShardedCluster ./internal/distnet -chaos.seed=<seed>"
+    exit 1
+fi
+
 echo "== WAL crash-recovery matrix (every wal/* failpoint + torn tail, seeds 1..3, -race) =="
 # The durability tentpole: a coordinator killed at each wal/append,
 # wal/fsync, wal/rotate, wal/snapshot, and wal/replay failpoint — plus
@@ -179,6 +204,9 @@ fi
 # BENCH_wal.json is the same kind of snapshot for the durability layer
 # (append ns/op with and without fsync, replay MB/s):
 #   go run ./cmd/gtbench -bench-wal BENCH_wal.json
+# BENCH_expr.json snapshots the set-expression evaluator (AnswerExpr
+# ns/query per expression shape):
+#   go run ./cmd/gtbench -bench-expr BENCH_expr.json
 
 echo "== fuzz smoke: FuzzWireDecode (10s) =="
 # A short bounded run of the wire-format fuzzer: enough to catch a

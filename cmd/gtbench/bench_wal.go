@@ -71,7 +71,7 @@ func benchAppend(env []byte, policy wal.SyncPolicy) (walAppendResult, error) {
 		return walAppendResult{}, err
 	}
 	defer l.Close()
-	if _, err := l.Replay(func([]byte) error { return nil }); err != nil {
+	if _, err := l.Replay(func(string, []byte) error { return nil }); err != nil {
 		return walAppendResult{}, err
 	}
 	var benchErr error
@@ -109,7 +109,7 @@ func benchReplay(env []byte, records int) (walReplayResult, error) {
 	if err != nil {
 		return walReplayResult{}, err
 	}
-	if _, err := l.Replay(func([]byte) error { return nil }); err != nil {
+	if _, err := l.Replay(func(string, []byte) error { return nil }); err != nil {
 		return walReplayResult{}, err
 	}
 	for i := 0; i < records; i++ {
@@ -130,7 +130,7 @@ func benchReplay(env []byte, records int) (walReplayResult, error) {
 				benchErr = err
 				b.Fatal(err)
 			}
-			st, err := rl.Replay(func([]byte) error { return nil })
+			st, err := rl.Replay(func(string, []byte) error { return nil })
 			if cerr := rl.Close(); err == nil {
 				err = cerr
 			}

@@ -7,6 +7,7 @@
 //	gtbench -bench BENCH_absorb.json
 //	gtbench -bench-relay BENCH_relay.json
 //	gtbench -bench-wal BENCH_wal.json
+//	gtbench -bench-expr BENCH_expr.json
 //
 // With no -e flag every experiment runs, in order. -csv additionally
 // writes each table as a CSV file into DIR for plotting. -bench skips
@@ -19,6 +20,9 @@
 // the BENCH_relay.json snapshot. -bench-wal prices the durability
 // layer (envelope Append with and without per-record fsync, full-log
 // Open+Replay throughput), writing the BENCH_wal.json snapshot.
+// -bench-expr prices the set-expression query evaluator (AnswerExpr
+// per expression shape — leaf, union, nested intersection/difference,
+// deep union spine, Jaccard), writing the BENCH_expr.json snapshot.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 		bench       = flag.String("bench", "", "run the absorb/merge/decode microbenchmarks and write JSON to FILE ('-' = stdout)")
 		benchRelay  = flag.String("bench-relay", "", "run the relay-flush/PushBatch microbenchmarks and write JSON to FILE ('-' = stdout)")
 		benchWAL    = flag.String("bench-wal", "", "run the WAL append/replay microbenchmarks and write JSON to FILE ('-' = stdout)")
+		benchExpr   = flag.String("bench-expr", "", "run the set-expression evaluator microbenchmarks and write JSON to FILE ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,13 @@ func main() {
 	}
 	if *benchWAL != "" {
 		if err := runBenchWAL(*benchWAL); err != nil {
+			fmt.Fprintln(os.Stderr, "gtbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchExpr != "" {
+		if err := runBenchExpr(*benchExpr); err != nil {
 			fmt.Fprintln(os.Stderr, "gtbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,200 @@
+package main
+
+// The -expr grammar: a tiny recursive-descent parser from the textual
+// set-expression syntax to the wire.QueryExpr tree the coordinator
+// evaluates. Mirrors wire.(*QueryExpr).String, so rendering a parsed
+// tree and re-parsing it round-trips.
+//
+//	expr    := union ( '~' union )?     jaccard similarity, root only
+//	union   := diff  ( '|' diff  )*
+//	diff    := inter ( '-' inter )*
+//	inter   := atom  ( '&' atom  )*
+//	atom    := '(' union ')' | name | "quoted name"
+//
+// '&' binds tightest, then '-', then '|' — so
+// `ads & (buys | clicks) - spam` parses as ((ads & (buys|clicks)) -
+// spam). Bare names are runs of letters, digits, '_', '.', ':' and
+// '/'; anything else (spaces, operators, the empty default-stream
+// name) needs double quotes with Go escaping.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// parseExpr parses one set expression and validates the result.
+func parseExpr(src string) (*wire.QueryExpr, error) {
+	p := &exprParser{src: src}
+	e, err := p.parseRoot()
+	if err != nil {
+		return nil, fmt.Errorf("parsing %q: %w", src, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("parsing %q: %w", src, err)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) parseRoot() (*wire.QueryExpr, error) {
+	left, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == '~' {
+		p.pos++
+		right, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		left = wire.Jaccard(left, right)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected %q at offset %d (jaccard '~' is only legal at the top level)", p.src[p.pos:], p.pos)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseUnion() (*wire.QueryExpr, error) {
+	left, err := p.parseDiff()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		right, err := p.parseDiff()
+		if err != nil {
+			return nil, err
+		}
+		left = wire.Union(left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseDiff() (*wire.QueryExpr, error) {
+	left, err := p.parseIntersect()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '-' {
+		p.pos++
+		right, err := p.parseIntersect()
+		if err != nil {
+			return nil, err
+		}
+		left = wire.Diff(left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseIntersect() (*wire.QueryExpr, error) {
+	left, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = wire.Intersect(left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAtom() (*wire.QueryExpr, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case c == '"':
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '\\':
+				p.pos += 2
+				continue
+			case '"':
+				p.pos++
+				name, err := strconv.Unquote(p.src[start:p.pos])
+				if err != nil {
+					return nil, fmt.Errorf("bad quoted stream name %s: %v", p.src[start:p.pos], err)
+				}
+				return wire.Leaf(name), nil
+			}
+			p.pos++
+		}
+		return nil, fmt.Errorf("unterminated quoted name at offset %d", start)
+	case isNameByte(c):
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		return wire.Leaf(p.src[start:p.pos]), nil
+	case c == 0:
+		return nil, fmt.Errorf("expression ends where a stream name or '(' was expected")
+	default:
+		return nil, fmt.Errorf("unexpected %q at offset %d", c, p.pos)
+	}
+}
+
+// peek skips whitespace and returns the next byte without consuming
+// it (0 at end of input).
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '.' || c == ':' || c == '/' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' ||
+		c >= 0x80 // UTF-8 continuation/lead bytes: names are arbitrary strings
+}
+
+// renderExprResult pretty-prints an evaluated tree, one node per line,
+// children indented under their operator.
+func renderExprResult(sb *strings.Builder, res *wire.ExprResult, depth int) {
+	if res == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	switch res.Op {
+	case wire.OpLeaf:
+		name := res.Stream
+		if name == "" {
+			name = `""`
+		}
+		fmt.Fprintf(sb, "%s%-10s = %.6g (±%.2g rel)\n", indent, name, res.Value, res.ErrBound)
+	default:
+		fmt.Fprintf(sb, "%s%-10s = %.6g (±%.2g rel)\n", indent, res.Op, res.Value, res.ErrBound)
+		renderExprResult(sb, res.Left, depth+1)
+		renderExprResult(sb, res.Right, depth+1)
+	}
+}

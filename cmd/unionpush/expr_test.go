@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestParseExpr pins the grammar: precedence ('&' over '-' over '|'),
+// left associativity, parentheses, quoting, and the root-only '~'.
+// Expectations are the wire tree's canonical String rendering.
+func TestParseExpr(t *testing.T) {
+	good := []struct{ in, want string }{
+		{"a", "a"},
+		{" a ", "a"},
+		{`""`, `""`},
+		{"a|b", "(a | b)"},
+		{"a | b | c", "((a | b) | c)"},
+		{"a - b - c", "((a - b) - c)"},
+		{"a & b | c", "((a & b) | c)"},
+		{"a | b & c", "(a | (b & c))"},
+		{"a & b - c", "((a & b) - c)"},
+		{"a - b & c", "(a - (b & c))"},
+		{"ads & (buys | clicks) - spam", "((ads & (buys | clicks)) - spam)"},
+		{"(a)", "a"},
+		{"((a | b))", "(a | b)"},
+		{"a ~ b", "(a ~ b)"},
+		{"a | b ~ c & d", "((a | b) ~ (c & d))"},
+		{`"a" & b`, "(a & b)"},
+		{"site_0:7600/x & b", "(site_0:7600/x & b)"},
+	}
+	for _, tc := range good {
+		e, err := parseExpr(tc.in)
+		if err != nil {
+			t.Errorf("parseExpr(%q): %v", tc.in, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("parseExpr(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+
+	// Quoted names admit what bare tokens cannot.
+	e, err := parseExpr(`"two words" & "a-b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Left.Stream != "two words" || e.Right.Stream != "a-b" {
+		t.Errorf("quoted leaves parsed as %q, %q", e.Left.Stream, e.Right.Stream)
+	}
+
+	bad := []string{
+		"",
+		"a &",
+		"| a",
+		"(a | b",
+		"a)",
+		"a b",
+		`"unterminated`,
+		"a ~ b ~ c",   // '~' is non-associative
+		"a ~ (b ~ c)", // ... and root-only
+		"(a ~ b) & c", // parenthesizing does not move the root
+		"a & (b ~ c)", // nested jaccard under an operator
+	}
+	for _, in := range bad {
+		if e, err := parseExpr(in); err == nil {
+			t.Errorf("parseExpr(%q) accepted as %s", in, e)
+		}
+	}
+}
+
+// TestRunNamedStreamsAndExpr drives the CLI end to end: three files
+// pushed into three named streams on one coordinator, then an -expr
+// run evaluating a nested expression over them.
+func TestRunNamedStreamsAndExpr(t *testing.T) {
+	addr := startTestServer(t, server.Config{})
+	paths := writeStreams(t, 3)
+	for i, name := range []string{"ads", "buys", "clicks"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-addr", addr, "-stream", name, paths[i]}, &stdout, &stderr); code != 0 {
+			t.Fatalf("push to %s: exit %d, stderr:\n%s", name, code, stderr.String())
+		}
+	}
+
+	// Re-pushing an already-absorbed envelope is idempotent, so the
+	// -expr run can ride on any file.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-addr", addr, "-stream", "ads", "-expr", "ads & (buys | clicks) - buys", paths[0]}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("expr run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "expression ((ads & (buys | clicks)) - buys):") {
+		t.Errorf("missing expression header:\n%s", out)
+	}
+	for _, leaf := range []string{"ads", "buys", "clicks"} {
+		if !strings.Contains(out, leaf) {
+			t.Errorf("per-node breakdown missing leaf %s:\n%s", leaf, out)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", addr, "-stream", "ads", "-expr", "ads ~ buys", paths[0]}, &stdout, &stderr); code != 0 {
+		t.Fatalf("jaccard run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "expression (ads ~ buys):") {
+		t.Errorf("missing jaccard output:\n%s", stdout.String())
+	}
+
+	// An expression over a stream nobody pushed must fail the run.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", addr, "-stream", "ads", "-expr", "ads & nope", paths[0]}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown-stream expr: exit %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nope") {
+		t.Errorf("error does not name the missing stream:\n%s", stderr.String())
+	}
+
+	// A malformed -expr is a usage error, caught before any push.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", addr, "-expr", "ads & (", paths[0]}, &stdout, &stderr); code != 2 {
+		t.Fatalf("malformed expr: exit %d, want 2", code)
+	}
+}

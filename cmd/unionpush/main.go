@@ -10,18 +10,32 @@
 // sampler, honoring -delta) or any other registered kind ("fm",
 // "ams", "bjkst", "kmv", "hll", "window", "exact").
 //
+// -stream names the logical stream the pushed sketches belong to (the
+// default is the coordinator's unnamed default stream), and -expr
+// evaluates a set expression over named streams after pushing:
+//
+//	unionpush -stream ads site*.gts
+//	unionpush -expr 'ads & (buys | clicks) - spam' last.gts
+//
+// with `|` union, `&` intersect (binds tightest), `-` difference, `~`
+// Jaccard similarity (top level only), parentheses, and quoted names
+// for streams with spaces or operator characters.
+//
 // Against a sharded tier (see unionstreamd -shards), -shards lists
 // every shard's address and -ring-seed pins the shared consistent-hash
 // ring: each sketch is routed to the shard that owns its merge group,
-// and a query goes to the same owner. If any shard permanently refuses
-// a push, unionpush keeps serving the remaining files, reports each
-// failure with the shard index and address, and exits non-zero.
+// and a query goes to the same owner. An -expr whose streams span
+// shards needs -parent, the aggregation parent every shard relays
+// into. If any shard permanently refuses a push, unionpush keeps
+// serving the remaining files, reports each failure with the shard
+// index and address, and exits non-zero.
 //
 // Usage:
 //
 //	unionpush [-addr host:7600 | -shards h1:7600,h2:7600,...]
-//	          [-ring-seed 42] [-backend gt] [-eps 0.05] [-delta 0.01]
-//	          [-seed 42] [-attempts 4] [-timeout 5s] [-query]
+//	          [-ring-seed 42] [-parent host:7600] [-backend gt]
+//	          [-eps 0.05] [-delta 0.01] [-seed 42] [-attempts 4]
+//	          [-timeout 5s] [-stream name] [-query] [-expr EXPR]
 //	          stream1.gts ...
 package main
 
@@ -36,7 +50,9 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/sketch"
 	"repro/internal/stream"
+	"repro/internal/wire"
 	"repro/unionstream"
 )
 
@@ -60,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		attempts = fs.Int("attempts", 4, "push attempts per site (with exponential backoff)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "dial timeout")
 		query    = fs.Bool("query", false, "query the union estimates after pushing")
+		streamNm = fs.String("stream", "", "named stream to push into (default: the coordinator's default stream)")
+		exprSrc  = fs.String("expr", "", "set expression over stream names to evaluate after pushing, e.g. 'ads & (buys | clicks) - spam'")
+		parent   = fs.String("parent", "", "aggregation parent address for -expr queries whose streams span shards (with -shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +87,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(files) == 0 {
 		fmt.Fprintln(stderr, "unionpush: need at least one stream file")
 		return 2
+	}
+	if err := wire.ValidStreamName(*streamNm); err != nil {
+		fmt.Fprintf(stderr, "unionpush: -stream: %v\n", err)
+		return 2
+	}
+	var parsedExpr *wire.QueryExpr
+	if *exprSrc != "" {
+		var err error
+		if parsedExpr, err = parseExpr(*exprSrc); err != nil {
+			fmt.Fprintf(stderr, "unionpush: -expr: %v\n", err)
+			return 2
+		}
 	}
 
 	base := client.Config{DialTimeout: *timeout, Attempts: *attempts}
@@ -79,14 +110,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// owner.
 	var push func(msg []byte) (tries int, describe string, err error)
 	var queryClient func(msg []byte) (*client.Client, error)
+	var queryExpr func(eq wire.ExprQuery, msg []byte) (*wire.ExprResult, error)
 	if *shards == "" {
 		base.Addr = *addr
 		cl := client.New(base)
 		push = func(msg []byte) (int, string, error) {
-			tries, err := cl.Push(msg)
+			tries, err := cl.PushNamed(*streamNm, msg)
 			return tries, *addr, err
 		}
 		queryClient = func([]byte) (*client.Client, error) { return cl, nil }
+		queryExpr = func(eq wire.ExprQuery, _ []byte) (*wire.ExprResult, error) {
+			return cl.QueryExpr(eq)
+		}
 	} else {
 		addrs := strings.Split(*shards, ",")
 		ring := cluster.NewRing(len(addrs), 0, *ringSeed)
@@ -95,8 +130,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "unionpush: %v\n", err)
 			return 2
 		}
+		if *parent != "" {
+			pcfg := base
+			pcfg.Addr = *parent
+			sc.SetParent(client.New(pcfg))
+		}
 		push = func(msg []byte) (int, string, error) {
-			shard, tries, err := sc.Push(msg)
+			shard, tries, err := sc.PushNamed(*streamNm, msg)
 			// The describe string already names the shard, so unwrap the
 			// ShardError to avoid printing "shard N (addr)" twice.
 			var se *client.ShardError
@@ -108,11 +148,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Every file shares one backend config, so every envelope lands
 		// in one merge group with one ring owner: queries go there.
 		queryClient = func(msg []byte) (*client.Client, error) {
-			shard, err := sc.Route(msg)
+			shard, err := sc.RouteNamed(*streamNm, msg)
 			if err != nil {
 				return nil, err
 			}
 			return sc.Shard(shard), nil
+		}
+		queryExpr = func(eq wire.ExprQuery, msg []byte) (*wire.ExprResult, error) {
+			kind, digest, ok := sketch.PeekHeader(msg)
+			if !ok {
+				return nil, fmt.Errorf("cannot route expression: last push is not a sketch envelope")
+			}
+			return sc.QueryExpr(eq, uint8(kind), digest)
 		}
 	}
 
@@ -193,6 +240,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "\nunion distinct estimate: %.0f\n", distinct)
 				fmt.Fprintf(stdout, "union sum estimate:      %.0f\n", sum)
 			}
+		}
+	}
+
+	if parsedExpr != nil && lastMsg != nil {
+		// The seed filter pins expression leaves to this run's
+		// coordination seed, so a coordinator holding several
+		// configurations of the same stream still resolves uniquely.
+		eq := wire.ExprQuery{HasSeed: true, Seed: *seed, Expr: parsedExpr}
+		res, err := queryExpr(eq, lastMsg)
+		if err != nil {
+			fail("expression %s: %v", parsedExpr, err)
+		} else {
+			var sb strings.Builder
+			renderExprResult(&sb, res, 0)
+			fmt.Fprintf(stdout, "\nexpression %s:\n%s", parsedExpr, sb.String())
 		}
 	}
 

@@ -132,7 +132,7 @@ func main() {
 			Shard:    *shard,
 			Shards:   *shards,
 			RingSeed: *ringSeed,
-			Owner:    ring.OwnerOf,
+			Owner:    ring.OwnerOfGroup,
 		}
 	}
 	srv := server.New(cfg)

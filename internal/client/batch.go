@@ -9,12 +9,29 @@ import (
 	"repro/internal/wire"
 )
 
-// PushBatch pushes many sketch envelopes over one long-lived
-// connection — the shape the relay tier and bulk loaders need, where
-// dialing per message (Push's one-shot contract) would dominate the
-// cost of 10^5-group flushes.
+// Record is one named batch entry: a sketch envelope bound for the
+// named stream ("" targets the default stream).
+type Record struct {
+	Stream   string
+	Envelope []byte
+}
+
+// PushBatch pushes many sketch envelopes to the default stream over
+// one long-lived connection; see PushBatchNamed.
+func (c *Client) PushBatch(envelopes [][]byte) (pushed int, err error) {
+	records := make([]Record, len(envelopes))
+	for i, env := range envelopes {
+		records[i] = Record{Envelope: env}
+	}
+	return c.PushBatchNamed(records)
+}
+
+// PushBatchNamed pushes many records over one long-lived connection —
+// the shape the relay tier and bulk loaders need, where dialing per
+// message (Push's one-shot contract) would dominate the cost of
+// 10^5-group flushes.
 //
-// Envelopes are pushed in order, each individually acked. A transient
+// Records are pushed in order, each individually acked. A transient
 // failure (dropped connection, damaged frame, coordinator error)
 // closes the connection, backs off, redials, and resumes from the
 // failing envelope — so an envelope can be delivered more than once
@@ -25,8 +42,8 @@ import (
 // aborts the batch and reports the offending index; everything before
 // it was delivered and acked.
 //
-// It returns the number of envelopes durably acked.
-func (c *Client) PushBatch(envelopes [][]byte) (pushed int, err error) {
+// It returns the number of records durably acked.
+func (c *Client) PushBatchNamed(records []Record) (pushed int, err error) {
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
@@ -34,8 +51,8 @@ func (c *Client) PushBatch(envelopes [][]byte) (pushed int, err error) {
 		}
 	}()
 
-	attempt := 1 // dial/push attempts for the envelope at `pushed`
-	for pushed < len(envelopes) {
+	attempt := 1 // dial/push attempts for the record at `pushed`
+	for pushed < len(records) {
 		if conn == nil {
 			if attempt > 1 {
 				time.Sleep(c.backoff(attempt - 1))
@@ -44,18 +61,18 @@ func (c *Client) PushBatch(envelopes [][]byte) (pushed int, err error) {
 			if err != nil {
 				if attempt++; attempt > c.cfg.Attempts {
 					return pushed, fmt.Errorf("client: batch push stalled at envelope %d/%d after %d attempts: %w",
-						pushed, len(envelopes), c.cfg.Attempts, err)
+						pushed, len(records), c.cfg.Attempts, err)
 				}
 				continue
 			}
 		}
-		err = c.pushOne(conn, envelopes[pushed])
+		err = c.pushOne(conn, records[pushed])
 		switch {
 		case err == nil:
 			pushed++
 			attempt = 1
 		case permanent(err):
-			return pushed, fmt.Errorf("client: batch envelope %d/%d refused: %w", pushed, len(envelopes), err)
+			return pushed, fmt.Errorf("client: batch envelope %d/%d refused: %w", pushed, len(records), err)
 		default:
 			// Transient: the connection is in an unknown state (a
 			// half-written frame, a lost ack) — drop it and resume on a
@@ -65,7 +82,7 @@ func (c *Client) PushBatch(envelopes [][]byte) (pushed int, err error) {
 			conn = nil
 			if attempt++; attempt > c.cfg.Attempts {
 				return pushed, fmt.Errorf("client: batch push stalled at envelope %d/%d after %d attempts: %w",
-					pushed, len(envelopes), c.cfg.Attempts, err)
+					pushed, len(records), c.cfg.Attempts, err)
 			}
 		}
 	}
@@ -83,11 +100,21 @@ func (c *Client) dialBatch() (net.Conn, error) {
 
 // pushOne writes one push frame on the standing connection and reads
 // its ack, bounding the round trip with the per-operation deadline.
-func (c *Client) pushOne(conn net.Conn, envelope []byte) error {
+// Default-stream records travel as plain MsgPush frames (the exact
+// bytes an old client would send); named records as MsgPushNamed.
+func (c *Client) pushOne(conn net.Conn, rec Record) error {
 	if err := conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout)); err != nil {
 		return err
 	}
-	if err := c.writeFrame(conn, wire.MsgPush, envelope); err != nil {
+	t, payload := wire.MsgPush, rec.Envelope
+	if rec.Stream != "" {
+		var err error
+		if payload, err = wire.EncodePushNamed(rec.Stream, rec.Envelope); err != nil {
+			return fmt.Errorf("%w: %w", ErrRejected, err)
+		}
+		t = wire.MsgPushNamed
+	}
+	if err := c.writeFrame(conn, t, payload); err != nil {
 		return err
 	}
 	return c.readAck(conn)

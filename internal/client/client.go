@@ -127,6 +127,20 @@ func (c *Client) Push(envelope []byte) (attempts int, err error) {
 	return c.pushFrame(wire.MsgPush, envelope)
 }
 
+// PushNamed sends one sketch message bound for the named stream. The
+// empty stream name is the default stream, and the push travels as a
+// plain MsgPush — byte-identical to what an un-upgraded site sends.
+func (c *Client) PushNamed(stream string, envelope []byte) (attempts int, err error) {
+	if stream == "" {
+		return c.pushFrame(wire.MsgPush, envelope)
+	}
+	payload, perr := wire.EncodePushNamed(stream, envelope)
+	if perr != nil {
+		return 0, fmt.Errorf("%w: %w", ErrRejected, perr)
+	}
+	return c.pushFrame(wire.MsgPushNamed, payload)
+}
+
 func (c *Client) pushFrame(t wire.MsgType, payload []byte) (int, error) {
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.Attempts; attempt++ {
@@ -173,6 +187,37 @@ func (c *Client) Query(q wire.Query) (float64, error) {
 		}
 	})
 	return est, err
+}
+
+// QueryExpr asks the coordinator to evaluate one set expression over
+// named streams and returns the per-node result tree (value and error
+// bound at every operator). Retried like Query — expression queries
+// are read-only.
+func (c *Client) QueryExpr(eq wire.ExprQuery) (*wire.ExprResult, error) {
+	payload, err := eq.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+	var res *wire.ExprResult
+	err = c.retried(func(conn net.Conn) error {
+		if err := c.writeFrame(conn, wire.MsgQueryExpr, payload); err != nil {
+			return err
+		}
+		typ, reply, err := c.readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.MsgQueryExprResult:
+			res, err = wire.DecodeExprResult(reply)
+			return err
+		case wire.MsgAck:
+			return ackError(reply)
+		default:
+			return fmt.Errorf("%w: unexpected %s reply to expression query", ErrRejected, typ)
+		}
+	})
+	return res, err
 }
 
 // DistinctCount queries the union F0 estimate for the given

@@ -5,16 +5,21 @@ import (
 	"fmt"
 
 	"repro/internal/sketch"
+	"repro/internal/wire"
 )
 
-// Router assigns merge groups — identified by the (kind, config
-// digest) pair every envelope carries in its header — to shard
-// indices. cluster.(*Ring).OwnerOf satisfies it; the indirection
-// keeps this package free of a dependency on the cluster package.
+// Router assigns merge groups — identified by the stream name each
+// push may carry plus the (kind, config digest) pair every envelope
+// carries in its header — to shard indices. cluster.(*Ring) satisfies
+// it; the indirection keeps this package free of a dependency on the
+// cluster package.
 type Router interface {
 	// OwnerOf returns the owning shard index in [0, Shards()) for the
-	// group with the given kind tag and config digest.
+	// default-stream group with the given kind tag and config digest.
 	OwnerOf(kind uint8, digest uint64) int
+	// OwnerOfGroup is OwnerOf for a named stream; OwnerOfGroup("", k,
+	// d) must equal OwnerOf(k, d).
+	OwnerOfGroup(stream string, kind uint8, digest uint64) int
 	// Shards returns the shard-index space the router assigns into.
 	Shards() int
 }
@@ -45,6 +50,10 @@ type Sharded struct {
 	router  Router
 	addrs   []string
 	clients []*Client
+	// parent, when set (SetParent), is the aggregation tier's root
+	// coordinator — the one place a cross-shard expression query can be
+	// answered, since it holds every stream's relayed union.
+	parent *Client
 }
 
 // NewSharded builds a sharded client over the given coordinator
@@ -78,14 +87,26 @@ func (s *Sharded) Shard(i int) *Client { return s.clients[i] }
 // Addr returns shard i's coordinator address.
 func (s *Sharded) Addr(i int) string { return s.addrs[i] }
 
-// Route returns the shard index owning the envelope's merge group,
-// or an error when the bytes are not a sketch envelope.
+// SetParent registers the aggregation tier's root coordinator, the
+// target for expression queries whose leaves span shards. Call before
+// sharing the Sharded across goroutines.
+func (s *Sharded) SetParent(c *Client) { s.parent = c }
+
+// Route returns the shard index owning the envelope's default-stream
+// merge group; see RouteNamed.
 func (s *Sharded) Route(envelope []byte) (int, error) {
+	return s.RouteNamed("", envelope)
+}
+
+// RouteNamed returns the shard index owning the envelope's merge
+// group in the named stream, or an error when the bytes are not a
+// sketch envelope.
+func (s *Sharded) RouteNamed(stream string, envelope []byte) (int, error) {
 	kind, digest, ok := sketch.PeekHeader(envelope)
 	if !ok {
 		return 0, fmt.Errorf("client: %w: not a sketch envelope, cannot route", ErrRejected)
 	}
-	shard := s.router.OwnerOf(uint8(kind), digest)
+	shard := s.router.OwnerOfGroup(stream, uint8(kind), digest)
 	if shard < 0 || shard >= len(s.clients) {
 		return 0, fmt.Errorf("client: router assigned shard %d outside [0,%d)", shard, len(s.clients))
 	}
@@ -95,11 +116,17 @@ func (s *Sharded) Route(envelope []byte) (int, error) {
 // Push routes one envelope to its owning shard and pushes it through
 // that shard's retry loop. Failures come back wrapped in *ShardError.
 func (s *Sharded) Push(envelope []byte) (shard, attempts int, err error) {
-	shard, err = s.Route(envelope)
+	return s.PushNamed("", envelope)
+}
+
+// PushNamed routes one named-stream envelope to its owning shard and
+// pushes it through that shard's retry loop.
+func (s *Sharded) PushNamed(stream string, envelope []byte) (shard, attempts int, err error) {
+	shard, err = s.RouteNamed(stream, envelope)
 	if err != nil {
 		return 0, 0, err
 	}
-	attempts, err = s.clients[shard].Push(envelope)
+	attempts, err = s.clients[shard].PushNamed(stream, envelope)
 	if err != nil {
 		err = &ShardError{Shard: shard, Addr: s.addrs[shard], Err: err}
 	}
@@ -113,24 +140,75 @@ func (s *Sharded) Push(envelope []byte) (shard, attempts int, err error) {
 // comes back as a *ShardError inside the joined error. It returns the
 // total number of envelopes durably acked.
 func (s *Sharded) PushBatch(envelopes [][]byte) (pushed int, err error) {
-	perShard := make([][][]byte, len(s.clients))
-	for _, env := range envelopes {
-		shard, rerr := s.Route(env)
+	records := make([]Record, len(envelopes))
+	for i, env := range envelopes {
+		records[i] = Record{Envelope: env}
+	}
+	return s.PushBatchNamed(records)
+}
+
+// PushBatchNamed is PushBatch for stream-tagged records: each record
+// routes by its own (stream, kind, digest) key.
+func (s *Sharded) PushBatchNamed(records []Record) (pushed int, err error) {
+	perShard := make([][]Record, len(s.clients))
+	for _, rec := range records {
+		shard, rerr := s.RouteNamed(rec.Stream, rec.Envelope)
 		if rerr != nil {
 			return 0, rerr
 		}
-		perShard[shard] = append(perShard[shard], env)
+		perShard[shard] = append(perShard[shard], rec)
 	}
 	var errs []error
 	for shard, batch := range perShard {
 		if len(batch) == 0 {
 			continue
 		}
-		n, berr := s.clients[shard].PushBatch(batch)
+		n, berr := s.clients[shard].PushBatchNamed(batch)
 		pushed += n
 		if berr != nil {
 			errs = append(errs, &ShardError{Shard: shard, Addr: s.addrs[shard], Err: berr})
 		}
 	}
 	return pushed, errors.Join(errs...)
+}
+
+// QueryExpr evaluates a set expression against the cluster. The kind
+// tag and config digest identify the sketch configuration the
+// expression's stream groups share (the same pair every envelope
+// header carries). When every leaf's group lands on one shard, the
+// query goes to that shard — its groups are authoritative for the
+// streams it owns. Leaves spanning shards can only be answered where
+// all their merged state coexists: the parent coordinator (SetParent),
+// whose relayed groups converge to every shard's union.
+func (s *Sharded) QueryExpr(eq wire.ExprQuery, kind uint8, digest uint64) (*wire.ExprResult, error) {
+	if eq.Expr == nil {
+		return nil, fmt.Errorf("client: %w: empty expression", ErrRejected)
+	}
+	if err := eq.Expr.Validate(); err != nil {
+		return nil, fmt.Errorf("client: %w: %w", ErrRejected, err)
+	}
+	owner := -1
+	colocated := true
+	for _, stream := range eq.Expr.Leaves(nil) {
+		shard := s.router.OwnerOfGroup(stream, kind, digest)
+		if shard < 0 || shard >= len(s.clients) {
+			return nil, fmt.Errorf("client: router assigned shard %d outside [0,%d)", shard, len(s.clients))
+		}
+		if owner == -1 {
+			owner = shard
+		} else if shard != owner {
+			colocated = false
+		}
+	}
+	if colocated && owner >= 0 {
+		res, err := s.clients[owner].QueryExpr(eq)
+		if err != nil {
+			return nil, &ShardError{Shard: owner, Addr: s.addrs[owner], Err: err}
+		}
+		return res, nil
+	}
+	if s.parent == nil {
+		return nil, fmt.Errorf("client: %w: expression leaves span shards and no parent coordinator is set", ErrRejected)
+	}
+	return s.parent.QueryExpr(eq)
 }

@@ -39,17 +39,23 @@ import (
 const DefaultVirtualNodes = 64
 
 // GroupKey identifies one merge group, exactly as the coordinator
-// keys its group table: a sketch kind plus its canonical config
+// keys its group table: the logical stream the group belongs to (""
+// for the default stream), a sketch kind, and its canonical config
 // digest. Two envelopes land in the same group — and therefore on the
-// same shard — exactly when their sketches are merge-compatible.
+// same shard — exactly when they name the same stream and their
+// sketches are merge-compatible.
 type GroupKey struct {
+	Stream string
 	Kind   sketch.Kind
 	Digest uint64
 }
 
 // String renders the key the way /statsz renders groups.
 func (k GroupKey) String() string {
-	return fmt.Sprintf("%s/%016x", k.Kind, k.Digest)
+	if k.Stream == "" {
+		return fmt.Sprintf("%s/%016x", k.Kind, k.Digest)
+	}
+	return fmt.Sprintf("%s:%s/%016x", k.Stream, k.Kind, k.Digest)
 }
 
 // point is one virtual node: a position on the 64-bit ring owned by a
@@ -169,13 +175,34 @@ func (r *Ring) Members() []int {
 	return out
 }
 
+// streamHash folds a stream name into the key-hash pre-image. The
+// default stream hashes to zero BY CONTRACT: a default-stream key's
+// ring position is then bit-identical to the position the same
+// (kind, digest) key had before streams existed, so upgrading a
+// deployment to named streams moves no existing group.
+func streamHash(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // keyHash maps a group key onto the ring's 64-bit space. The ring
 // seed participates so distinct deployments shard the same group
 // population differently; SplitMix64's finalizer scrambles the raw
 // digest (which is itself an FNV hash, but of structured low-entropy
 // fields) into a uniform position.
 func (r *Ring) keyHash(key GroupKey) uint64 {
-	return hashing.NewSplitMix64(r.seed ^ uint64(key.Kind)<<56 ^ key.Digest).Next()
+	return hashing.NewSplitMix64(r.seed ^ uint64(key.Kind)<<56 ^ key.Digest ^ streamHash(key.Stream)).Next()
 }
 
 // Owner returns the shard owning the group: the shard of the first
@@ -189,9 +216,17 @@ func (r *Ring) Owner(key GroupKey) int {
 	return r.points[i].shard
 }
 
-// OwnerOf is Owner with the key unpacked — the signature the
+// OwnerOf is Owner for a default-stream key with the fields unpacked;
+// see OwnerOfGroup.
+func (r *Ring) OwnerOf(kind uint8, digest uint64) int {
+	return r.OwnerOfGroup("", kind, digest)
+}
+
+// OwnerOfGroup is Owner with the key unpacked — the signature the
 // client-side Router interface uses, so a *Ring plugs straight into
 // client.NewSharded without the client package importing this one.
-func (r *Ring) OwnerOf(kind uint8, digest uint64) int {
-	return r.Owner(GroupKey{Kind: sketch.Kind(kind), Digest: digest})
+// OwnerOfGroup("", k, d) == OwnerOf(k, d) exactly (streamHash pins the
+// default stream to the pre-stream key space).
+func (r *Ring) OwnerOfGroup(stream string, kind uint8, digest uint64) int {
+	return r.Owner(GroupKey{Stream: stream, Kind: sketch.Kind(kind), Digest: digest})
 }

@@ -102,6 +102,55 @@ func EstimateJaccard(a, b *Sampler) (float64, error) {
 	return float64(inter) / float64(union), nil
 }
 
+// Sketch-valued set operations. The same invariant that makes the
+// scalar estimators sound makes the operations *close over the
+// sampler domain*: the level-L filtered intersection (or difference)
+// of two coordinated retained sets is exactly a level-L coordinated
+// sample of A∩B (or A\B) under the shared hash — a valid Sampler in
+// its own right, whose EstimateDistinct equals the scalar estimate.
+// That closure is what lets set operators nest in query expressions.
+
+// IntersectSamplers returns a coordinated level-max(La,Lb) sample of
+// A ∩ B. Retained entries keep a's weights (the fixed-value-per-label
+// model makes a's and b's weights for a shared label equal anyway).
+func IntersectSamplers(a, b *Sampler) (*Sampler, error) {
+	if err := checkCoordinated(a, b); err != nil {
+		return nil, err
+	}
+	out := NewSampler(a.cfg)
+	out.level = max(a.level, b.level)
+	for label, e := range a.entries {
+		if int(e.level) < out.level {
+			continue
+		}
+		if be, ok := b.entries[label]; ok && int(be.level) >= out.level {
+			out.entries[label] = e
+			out.weightSum += e.weight
+		}
+	}
+	return out, nil
+}
+
+// DiffSamplers returns a coordinated level-max(La,Lb) sample of A \ B.
+func DiffSamplers(a, b *Sampler) (*Sampler, error) {
+	if err := checkCoordinated(a, b); err != nil {
+		return nil, err
+	}
+	out := NewSampler(a.cfg)
+	out.level = max(a.level, b.level)
+	for label, e := range a.entries {
+		if int(e.level) < out.level {
+			continue
+		}
+		if be, ok := b.entries[label]; ok && int(be.level) >= out.level {
+			continue
+		}
+		out.entries[label] = e
+		out.weightSum += e.weight
+	}
+	return out, nil
+}
+
 // Estimator-level variants: medians across the paired copies.
 
 // estimatorPairwise applies f to each coordinated copy pair and

@@ -131,7 +131,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 				Shard:    i,
 				Shards:   opts.Shards,
 				RingSeed: opts.RingSeed,
-				Owner:    c.Ring.OwnerOf,
+				Owner:    c.Ring.OwnerOfGroup,
 			},
 		})
 		addr, err := start(c.Servers[i], i+1)
@@ -151,13 +151,24 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 }
 
 // Client returns a ring-aware sharded client over the live topology.
+// The parent coordinator is wired in as the cross-shard query target:
+// expression queries whose leaves span shards route to it, where every
+// stream's relayed union coexists.
 func (c *Cluster) Client() (*client.Sharded, error) {
-	return client.NewSharded(c.Ring, c.ShardAddrs, client.Config{
+	base := client.Config{
 		Attempts:    c.opts.Attempts,
 		BackoffBase: c.opts.BackoffBase,
 		IOTimeout:   c.opts.IOTimeout,
 		JitterSeed:  int64(c.opts.Shards) + 1,
-	})
+	}
+	sc, err := client.NewSharded(c.Ring, c.ShardAddrs, base)
+	if err != nil {
+		return nil, err
+	}
+	parentCfg := base
+	parentCfg.Addr = c.ParentAddr
+	sc.SetParent(client.New(parentCfg))
+	return sc, nil
 }
 
 // FlushAll runs one relay flush on every live shard concurrently and

@@ -126,12 +126,12 @@ func requireIdentical(t testing.TB, got, want *server.Server, label string) {
 		t.Fatalf("%s: %d groups vs control's %d", label, len(gs), len(ws))
 	}
 	for i := range gs {
-		if gs[i].Kind != ws[i].Kind || gs[i].Digest != ws[i].Digest {
-			t.Fatalf("%s: group %d is %s/%016x, control has %s/%016x",
-				label, i, gs[i].KindName, gs[i].Digest, ws[i].KindName, ws[i].Digest)
+		if gs[i].Stream != ws[i].Stream || gs[i].Kind != ws[i].Kind || gs[i].Digest != ws[i].Digest {
+			t.Fatalf("%s: group %d is %q/%s/%016x, control has %q/%s/%016x",
+				label, i, gs[i].Stream, gs[i].KindName, gs[i].Digest, ws[i].Stream, ws[i].KindName, ws[i].Digest)
 		}
 		if !bytes.Equal(gs[i].Envelope, ws[i].Envelope) {
-			t.Fatalf("%s: group %s/%016x diverged from control", label, gs[i].KindName, gs[i].Digest)
+			t.Fatalf("%s: group %q/%s/%016x diverged from control", label, gs[i].Stream, gs[i].KindName, gs[i].Digest)
 		}
 	}
 }

@@ -1,0 +1,176 @@
+package server_test
+
+// Server-side contract tests for the expression evaluator: ambiguity
+// errors that name their candidates, capability gating over the wire
+// (AckUnsupported), and mismatch refusals (AckSeedMismatch).
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/wire"
+)
+
+// pushNamed builds a gt estimator over [lo, hi) and pushes it into the
+// named stream.
+func pushNamed(t *testing.T, cl *client.Client, stream string, seed, lo, hi uint64) {
+	t.Helper()
+	est := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: seed})
+	for x := lo; x < hi; x++ {
+		est.Process(x * 2654435761)
+	}
+	env, err := sketch.Envelope(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PushNamed(stream, env); err != nil {
+		t.Fatalf("push %q: %v", stream, err)
+	}
+}
+
+// TestSelectGroupAmbiguityNamesCandidates is the satellite regression:
+// when a flat query matches groups in several streams, the refusal
+// must name each candidate's stream and kind so the operator can see
+// what to narrow by — not just a count.
+func TestSelectGroupAmbiguityNamesCandidates(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr := startServer(t, srv)
+	cl := testClient(addr)
+
+	pushNamed(t, cl, "", 9, 0, 100)
+	pushNamed(t, cl, "clicks", 9, 50, 150)
+	pushNamed(t, cl, "installs", 9, 100, 200)
+
+	_, err := cl.DistinctCount(9)
+	if err == nil {
+		t.Fatal("flat query across three stream groups succeeded")
+	}
+	msg := err.Error()
+	for _, want := range []string{"(default)", `"clicks"`, `"installs"`, "kind gt", "seed 9"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("ambiguity error does not mention %s:\n%s", want, msg)
+		}
+	}
+
+	// The same candidates appear when an expression leaf is ambiguous
+	// (two configurations of one stream).
+	pushNamed(t, cl, "clicks", 11, 0, 100)
+	_, err = cl.QueryExpr(wire.ExprQuery{Expr: wire.Union(wire.Leaf("clicks"), wire.Leaf(""))})
+	if err == nil {
+		t.Fatal("expression over a doubly-configured stream succeeded")
+	}
+	if msg := err.Error(); !strings.Contains(msg, `"clicks"`) || !strings.Contains(msg, "seed/kind") {
+		t.Errorf("leaf ambiguity error unhelpful:\n%s", msg)
+	}
+
+	// Narrowing by seed resolves it.
+	if _, err := cl.QueryExpr(wire.ExprQuery{HasSeed: true, Seed: 9,
+		Expr: wire.Union(wire.Leaf("clicks"), wire.Leaf(""))}); err != nil {
+		t.Fatalf("narrowed expression still refused: %v", err)
+	}
+}
+
+// TestExprUnsupportedKindAcks pins the capability gating over the
+// wire: kinds without the needed set capability refuse with
+// AckUnsupported (surfaced as client.ErrRejected), and unions keep
+// working for every kind.
+func TestExprUnsupportedKindAcks(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr := startServer(t, srv)
+	cl := testClient(addr)
+
+	info, ok := sketch.LookupName("fm")
+	if !ok {
+		t.Fatal("fm kind not registered")
+	}
+	for _, st := range []string{"a", "b"} {
+		sk := info.New(0.25, 7)
+		for x := uint64(0); x < 50; x++ {
+			sk.Process(x)
+		}
+		env, err := sketch.Envelope(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.PushNamed(st, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Union: the paper's query, every kind supports it.
+	if _, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Union(wire.Leaf("a"), wire.Leaf("b"))}); err != nil {
+		t.Fatalf("fm union refused: %v", err)
+	}
+	// Intersection needs set algebra fm does not have.
+	_, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Intersect(wire.Leaf("a"), wire.Leaf("b"))})
+	if !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("fm intersect: err = %v, want client.ErrRejected (AckUnsupported)", err)
+	}
+	if !strings.Contains(err.Error(), "no set operations") {
+		t.Errorf("refusal does not explain the missing capability: %v", err)
+	}
+}
+
+// TestExprInteriorScalarOnlyKind: kmv answers root-level intersections
+// (scalar SetAlgebra) but cannot nest them under another operator —
+// its bottom-k sample of A∩B is not derivable. The root works, the
+// nested form refuses with AckUnsupported.
+func TestExprInteriorScalarOnlyKind(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr := startServer(t, srv)
+	cl := testClient(addr)
+
+	info, ok := sketch.LookupName("kmv")
+	if !ok {
+		t.Fatal("kmv kind not registered")
+	}
+	for _, st := range []string{"a", "b", "c"} {
+		sk := info.New(0.25, 7)
+		for x := uint64(0); x < 200; x++ {
+			sk.Process(x * 2654435761)
+		}
+		env, err := sketch.Envelope(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.PushNamed(st, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Intersect(wire.Leaf("a"), wire.Leaf("b"))}); err != nil {
+		t.Fatalf("kmv root intersect refused: %v", err)
+	}
+	if _, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Jaccard(wire.Leaf("a"), wire.Leaf("b"))}); err != nil {
+		t.Fatalf("kmv jaccard refused: %v", err)
+	}
+	_, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Union(wire.Intersect(wire.Leaf("a"), wire.Leaf("b")), wire.Leaf("c"))})
+	if !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("kmv nested intersect: err = %v, want client.ErrRejected (AckUnsupported)", err)
+	}
+	if !strings.Contains(err.Error(), "cannot nest") {
+		t.Errorf("refusal does not explain the nesting limit: %v", err)
+	}
+}
+
+// TestExprSeedMismatchAck: an expression whose leaves resolve to
+// groups with diverged configurations must refuse with the typed
+// mismatch ack, same as a mismatched push.
+func TestExprSeedMismatchAck(t *testing.T) {
+	srv := server.New(server.Config{})
+	addr := startServer(t, srv)
+	cl := testClient(addr)
+
+	pushNamed(t, cl, "a", 9, 0, 100)
+	pushNamed(t, cl, "b", 10, 0, 100)
+
+	_, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Intersect(wire.Leaf("a"), wire.Leaf("b"))})
+	if !errors.Is(err, client.ErrSeedMismatch) {
+		t.Fatalf("cross-seed intersect: err = %v, want client.ErrSeedMismatch", err)
+	}
+}

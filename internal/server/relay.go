@@ -157,6 +157,7 @@ func (s *Server) FlushRelay() (groups int, err error) {
 
 	type dirtyGroup struct {
 		g        *group
+		stream   string
 		envelope []byte
 		pending  int64
 	}
@@ -190,17 +191,20 @@ func (s *Server) FlushRelay() (groups int, err error) {
 			r.lastErr.Store(merr.Error())
 			continue
 		}
-		dirty = append(dirty, dirtyGroup{g: g, envelope: env, pending: pending})
+		dirty = append(dirty, dirtyGroup{g: g, stream: g.stream, envelope: env, pending: pending})
 	}
 	if len(dirty) == 0 {
 		return 0, nil
 	}
 
-	envelopes := make([][]byte, len(dirty))
+	// Stream names ride upstream with the envelopes: a named group on
+	// this shard must land in the parent's same-named group, or the
+	// tier would silently collapse streams into the default.
+	records := make([]client.Record, len(dirty))
 	for i, d := range dirty {
-		envelopes[i] = d.envelope
+		records[i] = client.Record{Stream: d.stream, Envelope: d.envelope}
 	}
-	pushed, perr := r.upstream.PushBatch(envelopes)
+	pushed, perr := r.upstream.PushBatchNamed(records)
 	// Envelopes [0, pushed) were acked upstream: clear exactly the
 	// dirt each snapshot covered, so absorbs that raced the flush stay
 	// pending for the next round.

@@ -2,11 +2,17 @@
 // referee as a long-running network daemon. Sites connect over TCP,
 // push their one-shot sketch messages (internal/sketch envelopes,
 // framed by internal/wire), and the daemon routes each through the
-// kind registry and merges it into its (kind, config digest) group.
-// Groups answer union queries — distinct counts, duplicate-insensitive
-// sums, and predicate counts, each subject to the kind's capabilities
-// — exactly as the in-process simulator does, but across machines and
-// across every registered sketch backend.
+// kind registry and merges it into its (stream, kind, config digest)
+// group — pushes may name the logical stream they belong to
+// (wire.MsgPushNamed), and unnamed pushes land in the default stream
+// (""). Groups answer union queries — distinct counts,
+// duplicate-insensitive sums, and predicate counts, each subject to
+// the kind's capabilities — exactly as the in-process simulator does,
+// but across machines and across every registered sketch backend.
+// Across streams the coordinator answers set-expression queries
+// (wire.MsgQueryExpr): unions, intersections, differences, and
+// Jaccard similarity over named streams, evaluated recursively
+// against the coordinated groups (see expr.go).
 //
 // # Concurrency model
 //
@@ -34,6 +40,7 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -93,26 +100,30 @@ type ClusterInfo struct {
 	Shard, Shards int
 	// RingSeed is the deployment's shared ring seed.
 	RingSeed uint64
-	// Owner maps a group's (kind tag, config digest) to its owning
-	// shard index — typically cluster.(*Ring).OwnerOf. Nil disables
-	// per-group ownership reporting.
-	Owner func(kind uint8, digest uint64) int
+	// Owner maps a group's (stream, kind tag, config digest) to its
+	// owning shard index — typically cluster.(*Ring).OwnerOfGroup. Nil
+	// disables per-group ownership reporting.
+	Owner func(stream string, kind uint8, digest uint64) int
 }
 
-// groupKey identifies one merge group: a sketch kind plus its
-// canonical config digest. Two envelopes land in the same group
-// exactly when their sketches are merge-compatible — which is why the
-// digest, not a kind-specific config struct, is the key.
+// groupKey identifies one merge group: the logical stream it belongs
+// to ("" for the default stream), a sketch kind, and its canonical
+// config digest. Two envelopes land in the same group exactly when
+// they name the same stream and their sketches are merge-compatible —
+// which is why the digest, not a kind-specific config struct, closes
+// the key.
 type groupKey struct {
+	stream string
 	kind   sketch.Kind
 	digest uint64
 }
 
-// group is one mergeable family of sketches: everything pushed with
-// the same kind and configuration digest.
+// group is one mergeable family of sketches: everything pushed to one
+// stream with the same kind and configuration digest.
 type group struct {
-	// kind, name, seed, and digest are fixed at creation (from the
-	// first absorbed envelope) and readable without the lock.
+	// stream, kind, name, seed, and digest are fixed at creation (from
+	// the first absorbed envelope) and readable without the lock.
+	stream string
 	kind   sketch.Kind
 	name   string
 	seed   uint64
@@ -135,6 +146,7 @@ type group struct {
 // stay ordered per connection while absorbs from different sites run
 // in parallel up to the pool bound.
 type absorbJob struct {
+	stream  string
 	payload []byte
 	ack     wire.Ack
 	done    chan struct{}
@@ -364,7 +376,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for job := range s.jobs {
-		job.ack = s.absorbSketch(job.payload)
+		job.ack = s.absorbSketch(job.stream, job.payload)
 		close(job.done)
 	}
 }
@@ -411,8 +423,21 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.stats.bytesRead.Add(int64(wire.HeaderSize + len(payload)))
 
 		switch typ {
-		case wire.MsgPush:
-			job := &absorbJob{payload: payload, done: make(chan struct{})}
+		case wire.MsgPush, wire.MsgPushNamed:
+			var stream string
+			envelope := payload
+			if typ == wire.MsgPushNamed {
+				var perr error
+				stream, envelope, perr = wire.DecodePushNamed(payload)
+				if perr != nil {
+					s.stats.rejected.Add(1)
+					if !s.writeAck(conn, wire.Ack{Code: wire.AckCorrupt, Detail: perr.Error()}) {
+						return
+					}
+					continue
+				}
+			}
+			job := &absorbJob{stream: stream, payload: envelope, done: make(chan struct{})}
 			select {
 			case s.jobs <- job:
 				<-job.done
@@ -428,11 +453,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		case wire.MsgQuery:
 			s.serveQuery(conn, payload)
+		case wire.MsgQueryExpr:
+			s.serveQueryExpr(conn, payload)
 		case wire.MsgStats:
 			s.serveStats(conn)
 		default:
-			// MsgAck / MsgQueryResult / MsgStatsResult travel
-			// server→client only.
+			// MsgAck / MsgQueryResult / MsgQueryExprResult /
+			// MsgStatsResult travel server→client only.
 			s.stats.rejected.Add(1)
 			if !s.writeAck(conn, wire.Ack{Code: wire.AckError,
 				Detail: fmt.Sprintf("unexpected client message type %s", typ)}) {
@@ -464,20 +491,30 @@ func (s *Server) writeAck(conn net.Conn, a wire.Ack) bool {
 	return true
 }
 
-// absorbSketch opens a pushed sketch envelope and merges it into its
-// (kind, config digest) group, creating the group on first contact.
-// Absorb merges one self-describing sketch envelope into the group
-// table without a network round trip — the in-process equivalent of a
-// site push. Embedders and the absorb benchmarks (gtbench -bench) use
-// it; the TCP path routes through the same code.
+// Absorb merges one self-describing sketch envelope into the default
+// stream's group table without a network round trip — the in-process
+// equivalent of a site push. Embedders and the absorb benchmarks
+// (gtbench -bench) use it; the TCP path routes through the same code.
 func (s *Server) Absorb(envelope []byte) error {
-	if ack := s.absorbSketch(envelope); ack.Code != wire.AckOK {
+	return s.AbsorbNamed("", envelope)
+}
+
+// AbsorbNamed merges one envelope into the named stream's group, the
+// in-process equivalent of a MsgPushNamed.
+func (s *Server) AbsorbNamed(stream string, envelope []byte) error {
+	if ack := s.absorbSketch(stream, envelope); ack.Code != wire.AckOK {
 		return fmt.Errorf("server: absorb refused: %s: %s", ack.Code, ack.Detail)
 	}
 	return nil
 }
 
-func (s *Server) absorbSketch(payload []byte) wire.Ack {
+// absorbSketch opens a pushed sketch envelope and merges it into its
+// (stream, kind, config digest) group, creating the group on first
+// contact.
+func (s *Server) absorbSketch(stream string, payload []byte) wire.Ack {
+	if err := wire.ValidStreamName(stream); err != nil {
+		return wire.Ack{Code: wire.AckCorrupt, Detail: err.Error()}
+	}
 	sk, err := sketch.Open(payload)
 	if err != nil {
 		if errors.Is(err, sketch.ErrUnknownKind) {
@@ -513,26 +550,26 @@ func (s *Server) absorbSketch(payload []byte) wire.Ack {
 		}
 		w.seal.RLock()
 		defer w.seal.RUnlock()
-		if err := w.log.Append(payload); err != nil {
+		if err := w.log.AppendNamed(stream, payload); err != nil {
 			w.appendErrors.Add(1)
 			w.lastErr.Store(err.Error())
 			return wire.Ack{Code: wire.AckError, Detail: err.Error()}
 		}
 	}
-	return s.foldIntoGroup(sk, info.Name, len(payload))
+	return s.foldIntoGroup(stream, sk, info.Name, len(payload))
 }
 
-// foldIntoGroup merges one opened sketch into its (kind, digest)
-// group, creating the group on first contact. It is the shared tail
-// of the absorb path and of WAL replay — a replayed record must take
-// exactly the path the original push took, or recovery would not be
-// bit-identical.
-func (s *Server) foldIntoGroup(sk sketch.Sketch, kindName string, payloadLen int) wire.Ack {
-	key := groupKey{kind: sk.Kind(), digest: sk.Digest()}
+// foldIntoGroup merges one opened sketch into its (stream, kind,
+// digest) group, creating the group on first contact. It is the
+// shared tail of the absorb path and of WAL replay — a replayed
+// record must take exactly the path the original push took, or
+// recovery would not be bit-identical.
+func (s *Server) foldIntoGroup(stream string, sk sketch.Sketch, kindName string, payloadLen int) wire.Ack {
+	key := groupKey{stream: stream, kind: sk.Kind(), digest: sk.Digest()}
 	s.mu.Lock()
 	g, ok := s.groups[key]
 	if !ok {
-		g = &group{kind: key.kind, name: kindName, seed: sk.Seed(), digest: key.digest}
+		g = &group{stream: stream, kind: key.kind, name: kindName, seed: sk.Seed(), digest: key.digest}
 		s.groups[key] = g
 	}
 	s.mu.Unlock()
@@ -637,12 +674,13 @@ func (s *Server) answer(q wire.Query) (float64, error) {
 
 // selectGroup resolves the query's target group: the groups matching
 // the query's seed (when HasSeed) and sketch kind (when HasKind),
-// which must narrow to exactly one.
+// which must narrow to exactly one. Ambiguity errors enumerate the
+// candidates — their streams, kinds, and digests — so the operator
+// can see exactly which filter to add instead of guessing.
 func (s *Server) selectGroup(q wire.Query) (*group, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var found *group
-	matches := 0
+	var matched []*group
 	for _, g := range s.groups {
 		if q.HasSeed && g.seed != q.Seed {
 			continue
@@ -650,23 +688,66 @@ func (s *Server) selectGroup(q wire.Query) (*group, error) {
 		if q.HasKind && g.kind != sketch.Kind(q.SketchKind) {
 			continue
 		}
-		found = g
-		matches++
+		matched = append(matched, g)
 	}
 	switch {
-	case matches == 1:
-		return found, nil
+	case len(matched) == 1:
+		return matched[0], nil
 	case len(s.groups) == 0:
 		return nil, errors.New("server: no sketches absorbed yet")
-	case matches == 0:
-		return nil, fmt.Errorf("server: no group matches the query (seed filter: %v, kind filter: %v)", q.HasSeed, q.HasKind)
+	case len(matched) == 0:
+		return nil, fmt.Errorf("server: no group matches the query (seed filter: %v, kind filter: %v); groups held: %s",
+			q.HasSeed, q.HasKind, describeGroups(s.groupsLocked()))
 	case q.HasSeed && !q.HasKind:
-		return nil, fmt.Errorf("server: seed %d matches several groups (differing kind or dimensions); name a sketch kind", q.Seed)
+		return nil, fmt.Errorf("server: seed %d matches several groups: %s; name a sketch kind (or query by expression for a specific stream)",
+			q.Seed, describeGroups(matched))
 	case !q.HasSeed && !q.HasKind:
-		return nil, fmt.Errorf("server: %d sketch groups in play; query must name a seed or kind", len(s.groups))
+		return nil, fmt.Errorf("server: %d sketch groups in play: %s; query must name a seed or kind",
+			len(s.groups), describeGroups(matched))
 	default:
-		return nil, fmt.Errorf("server: query matches %d groups; narrow the seed/kind filters", matches)
+		return nil, fmt.Errorf("server: query matches %d groups: %s; narrow the seed/kind filters",
+			len(matched), describeGroups(matched))
 	}
+}
+
+// groupsLocked returns every group as a slice.
+//
+// locked: mu
+func (s *Server) groupsLocked() []*group {
+	out := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// describeGroups renders candidate groups for ambiguity errors, in
+// deterministic (stream, kind, digest) order, eliding after a few so
+// a 10^5-group coordinator cannot flood an error string.
+func describeGroups(gs []*group) string {
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].stream != gs[j].stream {
+			return gs[i].stream < gs[j].stream
+		}
+		if gs[i].kind != gs[j].kind {
+			return gs[i].kind < gs[j].kind
+		}
+		return gs[i].digest < gs[j].digest
+	})
+	const maxListed = 6
+	parts := make([]string, 0, maxListed+1)
+	for i, g := range gs {
+		if i == maxListed {
+			parts = append(parts, fmt.Sprintf("... %d more", len(gs)-maxListed))
+			break
+		}
+		stream := g.stream
+		if stream == "" {
+			stream = "(default)"
+		}
+		parts = append(parts, fmt.Sprintf("[stream %q kind %s seed %d digest %016x]", stream, g.name, g.seed, g.digest))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // SnapshotGroup returns the marshaled merged sketch payload for the
@@ -689,6 +770,7 @@ func (s *Server) SnapshotGroup(seed uint64) ([]byte, error) {
 // bytes the group relays upstream, migrates to a new owner, or a site
 // holding the whole group union would have pushed.
 type GroupSnapshot struct {
+	Stream   string
 	Kind     sketch.Kind
 	KindName string
 	Digest   uint64
@@ -696,23 +778,21 @@ type GroupSnapshot struct {
 	Envelope []byte
 }
 
-// Snapshots returns every group's snapshot, sorted by (kind, digest)
-// so two coordinators holding the same groups produce comparable
-// slices. Unlike per-group SnapshotGroup lookups it is linear in the
-// group count, which is what lets the cluster tests compare 10^5
-// groups between a sharded tier and a single coordinator.
+// Snapshots returns every group's snapshot, sorted by (stream, kind,
+// digest) so two coordinators holding the same groups produce
+// comparable slices. Unlike per-group SnapshotGroup lookups it is
+// linear in the group count, which is what lets the cluster tests
+// compare 10^5 groups between a sharded tier and a single
+// coordinator.
 func (s *Server) Snapshots() ([]GroupSnapshot, error) {
 	s.mu.Lock()
-	groups := make([]*group, 0, len(s.groups))
-	for _, g := range s.groups {
-		groups = append(groups, g)
-	}
+	groups := s.groupsLocked()
 	s.mu.Unlock()
 
 	out := make([]GroupSnapshot, 0, len(groups))
 	for _, g := range groups {
 		g.mu.Lock()
-		snap := GroupSnapshot{Kind: g.kind, KindName: g.name, Digest: g.digest, Seed: g.seed}
+		snap := GroupSnapshot{Stream: g.stream, Kind: g.kind, KindName: g.name, Digest: g.digest, Seed: g.seed}
 		var err error
 		if g.sk != nil {
 			snap.Envelope, err = sketch.Envelope(g.sk)
@@ -724,6 +804,9 @@ func (s *Server) Snapshots() ([]GroupSnapshot, error) {
 		out = append(out, snap)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
 		if out[i].Kind != out[j].Kind {
 			return out[i].Kind < out[j].Kind
 		}

@@ -26,6 +26,7 @@ type counters struct {
 	absorbed      atomic.Int64
 	sketchBytes   atomic.Int64
 	queries       atomic.Int64
+	exprQueries   atomic.Int64
 	rejected      atomic.Int64
 	merges        atomic.Int64
 	mergeNanos    atomic.Int64
@@ -48,6 +49,9 @@ func (s *Server) recordMerge(d time.Duration, payloadBytes int64) {
 
 // GroupStats describes one merge group in a Stats snapshot.
 type GroupStats struct {
+	// Stream is the logical stream the group belongs to ("" for the
+	// default stream).
+	Stream string `json:"stream"`
 	// Kind is the registered sketch-kind name ("gt", "kmv", ...).
 	Kind string `json:"kind"`
 	// Seed is the group's coordination seed (0 for seedless kinds).
@@ -104,6 +108,20 @@ type RelayStats struct {
 	DrainGroups  int64 `json:"drain_groups"`
 }
 
+// StreamStats aggregates one logical stream's groups for the /statsz
+// streams block — the per-stream rollup an operator scans before
+// drilling into groups.
+type StreamStats struct {
+	// Stream is the logical stream name ("" for the default stream).
+	Stream string `json:"stream"`
+	// Groups counts the stream's merge groups (one per kind/digest).
+	Groups int64 `json:"groups"`
+	// SketchesAbsorbed and SketchBytes total the stream's absorbed site
+	// messages and their payload bytes.
+	SketchesAbsorbed int64 `json:"sketches_absorbed"`
+	SketchBytes      int64 `json:"sketch_bytes"`
+}
+
 // ClusterStats is the /statsz section a ring-aware coordinator adds.
 type ClusterStats struct {
 	Shard    int    `json:"shard"`
@@ -125,6 +143,7 @@ type Stats struct {
 	SketchesAbsorbed int64         `json:"sketches_absorbed"`
 	SketchBytes      int64         `json:"sketch_bytes"`
 	QueriesServed    int64         `json:"queries_served"`
+	ExprQueries      int64         `json:"expr_queries"`
 	Rejected         int64         `json:"rejected"`
 	Merges           int64         `json:"merges"`
 	MergeNanosTotal  int64         `json:"merge_nanos_total"`
@@ -133,12 +152,14 @@ type Stats struct {
 	Relay            *RelayStats   `json:"relay,omitempty"`
 	Cluster          *ClusterStats `json:"cluster,omitempty"`
 	WAL              *WALStats     `json:"wal,omitempty"`
+	Streams          []StreamStats `json:"streams"`
 	Groups           []GroupStats  `json:"groups"`
 }
 
 // Stats returns a consistent snapshot of the server's counters and
-// per-group state. Groups are ordered by kind, seed, then digest for
-// stable output.
+// per-group state. Groups are ordered by stream, kind, seed, then
+// digest for stable output; the streams block aggregates them per
+// stream in the same order.
 func (s *Server) Stats() Stats {
 	st := Stats{
 		ConnsAccepted:    s.stats.connsAccepted.Load(),
@@ -148,6 +169,7 @@ func (s *Server) Stats() Stats {
 		SketchesAbsorbed: s.stats.absorbed.Load(),
 		SketchBytes:      s.stats.sketchBytes.Load(),
 		QueriesServed:    s.stats.queries.Load(),
+		ExprQueries:      s.stats.exprQueries.Load(),
 		Rejected:         s.stats.rejected.Load(),
 		Merges:           s.stats.merges.Load(),
 		MergeNanosTotal:  s.stats.mergeNanos.Load(),
@@ -178,13 +200,11 @@ func (s *Server) Stats() Stats {
 	st.WAL = s.walStats()
 
 	s.mu.Lock()
-	groups := make([]*group, 0, len(s.groups))
-	for _, g := range s.groups {
-		groups = append(groups, g)
-	}
+	groups := s.groupsLocked()
 	s.mu.Unlock()
 	for _, g := range groups {
 		gs := GroupStats{
+			Stream: g.stream,
 			Kind:   g.name,
 			Seed:   g.seed,
 			Digest: fmt.Sprintf("%016x", g.digest),
@@ -204,7 +224,7 @@ func (s *Server) Stats() Stats {
 		}
 		g.mu.Unlock()
 		if c := s.cfg.Cluster; c != nil && c.Owner != nil {
-			owner := c.Owner(uint8(g.kind), g.digest)
+			owner := c.Owner(g.stream, uint8(g.kind), g.digest)
 			owned := owner == c.Shard
 			gs.OwnerShard, gs.Owned = &owner, &owned
 			if owned {
@@ -217,6 +237,9 @@ func (s *Server) Stats() Stats {
 	}
 	sort.Slice(st.Groups, func(i, j int) bool {
 		a, b := st.Groups[i], st.Groups[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
 		}
@@ -225,6 +248,17 @@ func (s *Server) Stats() Stats {
 		}
 		return a.Digest < b.Digest
 	})
+	// The streams rollup follows the sorted groups, so it inherits
+	// their order with one entry per distinct stream.
+	for _, gs := range st.Groups {
+		if n := len(st.Streams); n == 0 || st.Streams[n-1].Stream != gs.Stream {
+			st.Streams = append(st.Streams, StreamStats{Stream: gs.Stream})
+		}
+		ss := &st.Streams[len(st.Streams)-1]
+		ss.Groups++
+		ss.SketchesAbsorbed += gs.SketchesAbsorbed
+		ss.SketchBytes += gs.SketchBytes
+	}
 	return st
 }
 

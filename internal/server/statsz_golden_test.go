@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/sketch"
+	"repro/internal/wire"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
@@ -55,13 +56,20 @@ func TestStatszGoldenShape(t *testing.T) {
 	srv := server.New(server.Config{})
 	addr := startServer(t, srv)
 
-	// A fully deterministic fixture: one fixed sketch absorbed, one
-	// query served. Every non-volatile byte of the snapshot follows.
+	// A fully deterministic fixture: one fixed sketch absorbed into the
+	// default stream and one into a named stream, one query served.
+	// Every non-volatile byte of the snapshot follows.
 	est := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: 9})
+	named := core.NewEstimator(core.EstimatorConfig{Capacity: 32, Copies: 3, Seed: 9})
 	for x := uint64(0); x < 100; x++ {
 		est.Process(x)
+		named.Process(x + 1000)
 	}
 	msg, err := sketch.Envelope(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	namedMsg, err := sketch.Envelope(named)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +77,15 @@ func TestStatszGoldenShape(t *testing.T) {
 	if _, err := cl.Push(msg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.DistinctCount(9); err != nil {
+	if _, err := cl.PushNamed("clicks", namedMsg); err != nil {
+		t.Fatal(err)
+	}
+	// The flat query is now ambiguous — seed 9 matches both stream
+	// groups — while the expression query names its streams.
+	if _, err := cl.DistinctCount(9); err == nil {
+		t.Fatal("expected ambiguity error: seed 9 matches two stream groups")
+	}
+	if _, err := cl.QueryExpr(wire.ExprQuery{Expr: wire.Union(wire.Leaf(""), wire.Leaf("clicks"))}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -111,7 +127,7 @@ func TestStatszGoldenShape(t *testing.T) {
 	// from the wire (e.g. by a misplaced omitempty on a field that is
 	// zero here) fails even if the golden was blindly regenerated.
 	rendered := string(got)
-	for _, typ := range []reflect.Type{reflect.TypeOf(server.Stats{}), reflect.TypeOf(server.GroupStats{})} {
+	for _, typ := range []reflect.Type{reflect.TypeOf(server.Stats{}), reflect.TypeOf(server.GroupStats{}), reflect.TypeOf(server.StreamStats{})} {
 		for i := 0; i < typ.NumField(); i++ {
 			tag := strings.Split(typ.Field(i).Tag.Get("json"), ",")[0]
 			if tag == "" || tag == "-" {

@@ -42,7 +42,7 @@ func TestStatszRelayGoldenShape(t *testing.T) {
 			Shard:    0,
 			Shards:   3,
 			RingSeed: 42,
-			Owner:    ring.OwnerOf,
+			Owner:    ring.OwnerOfGroup,
 		},
 	})
 	childAddr := startServer(t, child)

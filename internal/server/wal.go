@@ -111,13 +111,15 @@ func (s *Server) recoverWAL() error {
 	if err != nil {
 		return fmt.Errorf("server: wal: %w", err)
 	}
-	st, err := log.Replay(func(envelope []byte) error {
+	st, err := log.Replay(func(stream string, envelope []byte) error {
 		sk, oerr := sketch.Open(envelope)
 		if oerr != nil {
 			return fmt.Errorf("replaying logged envelope: %w", oerr)
 		}
 		info, _ := sketch.Lookup(sk.Kind())
-		if ack := s.foldIntoGroup(sk, info.Name, len(envelope)); ack.Code != wire.AckOK {
+		// Pre-stream records replay with stream "" — the default
+		// stream, exactly the group a plain MsgPush would have reached.
+		if ack := s.foldIntoGroup(stream, sk, info.Name, len(envelope)); ack.Code != wire.AckOK {
 			return fmt.Errorf("replaying logged envelope: %s: %s", ack.Code, ack.Detail)
 		}
 		return nil
@@ -218,18 +220,18 @@ func (s *Server) snapshotGroupsToWAL() (int, error) {
 		w.lastErr.Store(err.Error())
 		return 0, fmt.Errorf("server: wal snapshot: %w", err)
 	}
-	envelopes := make([][]byte, 0, len(snaps))
+	records := make([]wal.Record, 0, len(snaps))
 	for _, sn := range snaps {
 		if sn.Envelope != nil {
-			envelopes = append(envelopes, sn.Envelope)
+			records = append(records, wal.Record{Stream: sn.Stream, Envelope: sn.Envelope})
 		}
 	}
-	if err := w.log.Snapshot(cut, envelopes); err != nil {
+	if err := w.log.Snapshot(cut, records); err != nil {
 		w.snapErrors.Add(1)
 		w.lastErr.Store(err.Error())
 		return 0, fmt.Errorf("server: wal snapshot: %w", err)
 	}
-	return len(envelopes), nil
+	return len(records), nil
 }
 
 // Abort is the recovery suites' crash switch: it severs the listener

@@ -1,0 +1,107 @@
+package kmv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sketch"
+)
+
+// Set-expression estimators over coordinated bottom-k sketches. Two
+// KMV sketches sharing a seed are coordinated the same way the
+// paper's samplers are: the bottom-k' of their union is a uniform
+// k'-minimum sample of A ∪ B under the shared hash, and membership of
+// each sampled value in A's and B's retained sets is known exactly
+// (a value small enough for the union's bottom-k' is small enough for
+// either side's bottom-k). Scaling the observed overlap fractions by
+// the union estimate gives the standard KMV set-operation estimators
+// (Beyer et al.; the DataSketches theta-sketch lineage).
+//
+// Unlike the GT sampler, a bottom-k sketch of A ∩ B is *not*
+// derivable from the two operand sketches — the k smallest hashes of
+// the intersection need not appear in either bottom-k — so this kind
+// implements sketch.SetAlgebra (scalars) but not sketch.SetCombiner:
+// set operators over KMV groups are answerable only at an expression
+// root, and the coordinator gates nesting accordingly.
+
+// setSibling asserts other is a merge-compatible *Sketch.
+func (s *Sketch) setSibling(other sketch.Sketch) (*Sketch, error) {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return nil, fmt.Errorf("%w: set algebra between *kmv.Sketch and %T", ErrMismatch, other)
+	}
+	if o == nil || s.k != o.k || s.seed != o.seed {
+		return nil, ErrMismatch
+	}
+	return o, nil
+}
+
+// overlap merges the two sketches into a scratch union and counts,
+// over the union's retained bottom-k', the values present in both
+// operands and those present only in s.
+func (s *Sketch) overlap(o *Sketch) (inBoth, inFirstOnly, kPrime int, unionEst float64, err error) {
+	union := New(s.k, s.seed)
+	if err := union.Merge(s); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := union.Merge(o); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, v := range union.heap {
+		_, inS := s.members[v]
+		_, inO := o.members[v]
+		switch {
+		case inS && inO:
+			inBoth++
+		case inS:
+			inFirstOnly++
+		}
+	}
+	return inBoth, inFirstOnly, len(union.heap), union.Estimate(), nil
+}
+
+// SetIntersect implements sketch.SetAlgebra:
+// |A ∩ B| ≈ (overlap / k') · |A ∪ B|.
+func (s *Sketch) SetIntersect(other sketch.Sketch) (float64, error) {
+	o, err := s.setSibling(other)
+	if err != nil {
+		return 0, err
+	}
+	inBoth, _, kPrime, unionEst, err := s.overlap(o)
+	if err != nil || kPrime == 0 {
+		return 0, err
+	}
+	return float64(inBoth) / float64(kPrime) * unionEst, nil
+}
+
+// SetDiff implements sketch.SetAlgebra:
+// |A \ B| ≈ (A-only fraction) · |A ∪ B|.
+func (s *Sketch) SetDiff(other sketch.Sketch) (float64, error) {
+	o, err := s.setSibling(other)
+	if err != nil {
+		return 0, err
+	}
+	_, inFirstOnly, kPrime, unionEst, err := s.overlap(o)
+	if err != nil || kPrime == 0 {
+		return 0, err
+	}
+	return float64(inFirstOnly) / float64(kPrime) * unionEst, nil
+}
+
+// SetJaccard implements sketch.SetAlgebra; it is the existing
+// bottom-k overlap ratio (Jaccard) behind the capability interface.
+func (s *Sketch) SetJaccard(other sketch.Sketch) (float64, error) {
+	o, err := s.setSibling(other)
+	if err != nil {
+		return 0, err
+	}
+	return s.Jaccard(o)
+}
+
+// RelativeStdErr implements sketch.Accuracy: stderr ≈ 1/√(k-2).
+func (s *Sketch) RelativeStdErr() float64 {
+	if s.k <= 2 {
+		return 1
+	}
+	return 1 / math.Sqrt(float64(s.k-2))
+}

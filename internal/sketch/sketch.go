@@ -114,6 +114,53 @@ type Describer interface {
 	Describe() map[string]any
 }
 
+// SetAlgebra is the optional capability of kinds whose coordinated
+// samples answer pairwise set-expression estimates against a sibling
+// sketch of the same kind and configuration (equal Digest): the
+// estimators Cohen's coordinated-sample line and the MTS
+// set-expression sketch build on. Every method must refuse a sketch
+// of another kind, seed, or configuration with an error wrapping
+// ErrMismatch — uncoordinated sketches share no sample space, so
+// "their intersection" is not a well-posed question. Kinds without
+// this capability are gated at query time exactly like Summer.
+type SetAlgebra interface {
+	// SetIntersect estimates |A ∩ B| of the two sketched label sets.
+	SetIntersect(other Sketch) (float64, error)
+	// SetDiff estimates |A \ B| (labels in the receiver's stream but
+	// not in other's).
+	SetDiff(other Sketch) (float64, error)
+	// SetJaccard estimates the Jaccard similarity |A∩B| / |A∪B|.
+	SetJaccard(other Sketch) (float64, error)
+}
+
+// SetCombiner is the optional capability of kinds whose set
+// operations close over the sketch domain: the intersection or
+// difference of two coordinated samples is itself a valid coordinated
+// sample of the result set, so set operators can nest — the property
+// a recursive expression evaluator needs for interior nodes like
+// (A ∪ B) ∩ C. The returned sketch must estimate exactly what the
+// corresponding SetAlgebra scalar would report, and the receiver and
+// other must be left unchanged. Scalar-only kinds (e.g. bottom-k,
+// whose k-minimum set of an intersection is not derivable) implement
+// SetAlgebra alone and can only answer set operators at the root.
+type SetCombiner interface {
+	// CombineIntersect returns a sketch of A ∩ B.
+	CombineIntersect(other Sketch) (Sketch, error)
+	// CombineDiff returns a sketch of A \ B.
+	CombineDiff(other Sketch) (Sketch, error)
+}
+
+// Accuracy is the optional capability of kinds that can state their
+// configured relative standard error for the primary distinct-count
+// estimate. Query surfaces use it for per-node error-bound reporting;
+// derived bounds (intersections, differences) degrade it by the
+// observed selectivity.
+type Accuracy interface {
+	// RelativeStdErr returns the configured relative standard error
+	// (e.g. ε for the paper's sampler, 1/√(k-2) for bottom-k).
+	RelativeStdErr() float64
+}
+
 // Sentinel errors every kind funnels its failures through, so callers
 // can classify without knowing the concrete package: errors.Is(err,
 // sketch.ErrMismatch) works for a core, fm, or window mismatch alike.

@@ -164,6 +164,8 @@ func Conform(t *testing.T, info sketch.KindInfo) {
 		}
 	})
 
+	t.Run("set-algebra", func(t *testing.T) { conformSetAlgebra(t, info, a, b) })
+
 	t.Run("estimate-sane", func(t *testing.T) {
 		// a holds 1000 distinct labels at ε=0.25; any registered kind
 		// must land within an order of magnitude (AMS is the loosest,
@@ -173,4 +175,129 @@ func Conform(t *testing.T, info sketch.KindInfo) {
 			t.Errorf("estimate %v for 1000 distinct labels", est)
 		}
 	})
+}
+
+// conformSetAlgebra holds set-capable kinds to the pairwise algebra
+// contract and non-capable kinds to clean gating. The capability is
+// part of the kind's registered identity: it must survive the
+// envelope round trip (the coordinator's expression evaluator works
+// exclusively on clones) and refuse mismatched or cross-kind operands
+// with sketch.ErrMismatch, exactly like Merge.
+func conformSetAlgebra(t *testing.T, info sketch.KindInfo, a, b sketch.Sketch) {
+	alg, capable := clone(t, a).(sketch.SetAlgebra)
+	if _, direct := a.(sketch.SetAlgebra); direct != capable {
+		t.Fatalf("SetAlgebra capability lost in envelope round trip (direct %v, clone %v)", direct, capable)
+	}
+	if !capable {
+		// Clean gating: a kind without the algebra must not smuggle in
+		// half of it either.
+		if _, ok := a.(sketch.SetCombiner); ok {
+			t.Errorf("kind %q implements SetCombiner but not SetAlgebra", info.Name)
+		}
+		return
+	}
+
+	estA, estB := clone(t, a).Estimate(), clone(t, b).Estimate()
+	union := clone(t, a)
+	if err := union.Merge(clone(t, b)); err != nil {
+		t.Fatal(err)
+	}
+	estU := union.Estimate()
+	inter, err := alg.SetIntersect(clone(t, b))
+	if err != nil {
+		t.Fatalf("SetIntersect: %v", err)
+	}
+	diff, err := alg.SetDiff(clone(t, b))
+	if err != nil {
+		t.Fatalf("SetDiff: %v", err)
+	}
+	jac, err := alg.SetJaccard(clone(t, b))
+	if err != nil {
+		t.Fatalf("SetJaccard: %v", err)
+	}
+
+	// Inclusion–exclusion: |A∪B| = |A| + |B| − |A∩B|, every term its
+	// own estimate, so the identity holds within the combined error of
+	// the conformance ε (generous, but deterministic seeds keep it
+	// stable).
+	if lhs, rhs := estU, estA+estB-inter; math.Abs(lhs-rhs) > 0.5*math.Max(lhs, rhs) {
+		t.Errorf("inclusion–exclusion broken: |A∪B| = %v but |A|+|B|−|A∩B| = %v+%v−%v = %v", lhs, estA, estB, inter, rhs)
+	}
+	if inter < 0 || diff < 0 {
+		t.Errorf("negative set estimate: intersect %v, diff %v", inter, diff)
+	}
+	if jac < 0 || jac > 1 {
+		t.Errorf("Jaccard %v outside [0,1]", jac)
+	}
+	// Against itself the algebra is exact: identical retained sets.
+	if d, err := alg.SetDiff(clone(t, a)); err != nil || d != 0 {
+		t.Errorf("SetDiff(A, A) = (%v, %v), want (0, nil)", d, err)
+	}
+	if j, err := alg.SetJaccard(clone(t, a)); err != nil || j != 1 {
+		t.Errorf("SetJaccard(A, A) = (%v, %v), want (1, nil)", j, err)
+	}
+
+	// Typed refusals: diverged configuration and cross-kind operands.
+	other := build(t, info, 2, 0, 100)
+	if other.Digest() != a.Digest() {
+		if _, err := alg.SetIntersect(other); !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("mismatched SetIntersect: err = %v, want sketch.ErrMismatch", err)
+		}
+		if _, err := alg.SetDiff(other); !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("mismatched SetDiff: err = %v, want sketch.ErrMismatch", err)
+		}
+		if _, err := alg.SetJaccard(other); !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("mismatched SetJaccard: err = %v, want sketch.ErrMismatch", err)
+		}
+	}
+	for _, oi := range sketch.Kinds() {
+		if oi.Kind == info.Kind {
+			continue
+		}
+		foreign := build(t, oi, 1, 0, 10)
+		if _, err := alg.SetIntersect(foreign); !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("cross-kind SetIntersect (%q into %q): err = %v, want sketch.ErrMismatch", oi.Name, info.Name, err)
+		}
+		break
+	}
+
+	comb, combines := clone(t, a).(sketch.SetCombiner)
+	if _, direct := a.(sketch.SetCombiner); direct != combines {
+		t.Fatalf("SetCombiner capability lost in envelope round trip (direct %v, clone %v)", direct, combines)
+	}
+	if !combines {
+		return
+	}
+	// The sketch-valued operations must agree with the scalars exactly
+	// (both reduce the same per-copy sample counts) and produce a
+	// merge-compatible sketch — the closure property interior
+	// expression nodes rely on.
+	csk, err := comb.CombineIntersect(clone(t, b))
+	if err != nil {
+		t.Fatalf("CombineIntersect: %v", err)
+	}
+	if got := csk.Estimate(); got != inter {
+		t.Errorf("CombineIntersect estimate %v != SetIntersect %v", got, inter)
+	}
+	if csk.Kind() != a.Kind() || csk.Digest() != a.Digest() {
+		t.Errorf("combined sketch changed identity: kind %v/%v digest %x/%x", csk.Kind(), a.Kind(), csk.Digest(), a.Digest())
+	}
+	if err := clone(t, a).Merge(csk); err != nil {
+		t.Errorf("combined sketch refuses to merge back: %v", err)
+	}
+	dsk, err := comb.CombineDiff(clone(t, b))
+	if err != nil {
+		t.Fatalf("CombineDiff: %v", err)
+	}
+	if got := dsk.Estimate(); got != diff {
+		t.Errorf("CombineDiff estimate %v != SetDiff %v", got, diff)
+	}
+	if other.Digest() != a.Digest() {
+		if _, err := comb.CombineIntersect(other); !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("mismatched CombineIntersect: err = %v, want sketch.ErrMismatch", err)
+		}
+		if _, err := comb.CombineDiff(other); !errors.Is(err, sketch.ErrMismatch) {
+			t.Errorf("mismatched CombineDiff: err = %v, want sketch.ErrMismatch", err)
+		}
+	}
 }

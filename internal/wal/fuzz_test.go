@@ -87,8 +87,8 @@ func FuzzWALReplay(f *testing.F) {
 	}
 	seg := fuzzSegment(f)
 	f.Add(seg)
-	f.Add(seg[:len(seg)-7])             // torn tail, mid-record
-	f.Add(seg[:wire.HeaderSize/2])      // torn tail, mid-header
+	f.Add(seg[:len(seg)-7])        // torn tail, mid-record
+	f.Add(seg[:wire.HeaderSize/2]) // torn tail, mid-header
 	flipped := append([]byte(nil), seg...)
 	flipped[wire.HeaderSize+5] ^= 0x20 // payload bit flip in record 1
 	f.Add(flipped)
@@ -96,7 +96,7 @@ func FuzzWALReplay(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decoder invariants on the raw bytes.
 		var records int64
-		n, clean, err := wal.DecodeSegment(bytes.NewReader(data), fuzzLimit, func(env []byte) error {
+		n, clean, err := wal.DecodeSegment(bytes.NewReader(data), fuzzLimit, func(_ string, env []byte) error {
 			records++
 			return nil
 		})
@@ -114,7 +114,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 
 		// The clean prefix must re-decode deterministically and fully.
-		n2, clean2, err2 := wal.DecodeSegment(bytes.NewReader(data[:clean]), fuzzLimit, func([]byte) error { return nil })
+		n2, clean2, err2 := wal.DecodeSegment(bytes.NewReader(data[:clean]), fuzzLimit, func(string, []byte) error { return nil })
 		if err2 != nil {
 			t.Fatalf("clean prefix re-decode failed: %v", err2)
 		}
@@ -135,7 +135,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		defer l.Close()
 		var replayed int64
-		st, rerr := l.Replay(func(env []byte) error {
+		st, rerr := l.Replay(func(_ string, env []byte) error {
 			replayed++
 			return nil
 		})

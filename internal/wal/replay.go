@@ -12,21 +12,26 @@ import (
 )
 
 // DecodeSegment reads wire frames from r, calling fn with each
-// MsgPush payload (a sketch envelope), until the stream ends. It
+// record's stream name and sketch envelope, until the stream ends. It
 // returns the number of records delivered and the byte offset of the
 // last clean record boundary — the truncation point for a torn tail.
 //
+// A record is either a MsgPush frame (the pre-stream format; its
+// stream is the default "") or a MsgPushNamed frame carrying an
+// explicit stream name — so every log written before streams existed
+// replays into the default stream unchanged.
+//
 // The error is nil when the stream ends cleanly between frames,
 // satisfies errors.Is(err, ErrDamaged) on any structural damage (a
-// torn or bit-flipped frame, or a frame of any type other than
-// MsgPush — a segment never legitimately holds one), and is fn's
-// error verbatim if fn rejects a record. fn is never called with
-// bytes past the first damage: each record's CRC is verified before
-// delivery.
+// torn or bit-flipped frame, a malformed named-push payload, or a
+// frame of any other type — a segment never legitimately holds one),
+// and is fn's error verbatim if fn rejects a record. fn is never
+// called with bytes past the first damage: each record's CRC is
+// verified before delivery.
 //
 // The function is pure with respect to the Log — FuzzWALReplay drives
 // it directly with the wire fuzz corpus and mutated segments.
-func DecodeSegment(r io.Reader, limit uint32, fn func(envelope []byte) error) (records, clean int64, err error) {
+func DecodeSegment(r io.Reader, limit uint32, fn func(stream string, envelope []byte) error) (records, clean int64, err error) {
 	for {
 		t, payload, rerr := wire.ReadFrame(r, limit)
 		if rerr != nil {
@@ -35,10 +40,20 @@ func DecodeSegment(r io.Reader, limit uint32, fn func(envelope []byte) error) (r
 			}
 			return records, clean, fmt.Errorf("%w: record %d at offset %d: %w", ErrDamaged, records, clean, rerr)
 		}
-		if t != wire.MsgPush {
+		var stream string
+		envelope := payload
+		switch t {
+		case wire.MsgPush:
+		case wire.MsgPushNamed:
+			var perr error
+			stream, envelope, perr = wire.DecodePushNamed(payload)
+			if perr != nil {
+				return records, clean, fmt.Errorf("%w: record %d at offset %d: %w", ErrDamaged, records, clean, perr)
+			}
+		default:
 			return records, clean, fmt.Errorf("%w: record %d at offset %d: frame type %s in a wal segment", ErrDamaged, records, clean, t)
 		}
-		if ferr := fn(payload); ferr != nil {
+		if ferr := fn(stream, envelope); ferr != nil {
 			return records, clean, ferr
 		}
 		records++
@@ -62,17 +77,17 @@ type ReplayStats struct {
 	DamagedFile string
 }
 
-// Replay feeds every recovered envelope to fn, snapshot first (one
-// merged envelope per group), then the surviving segments in order.
-// It must run to completion before the first Append; until it has,
-// Append refuses with ErrNotReplayed.
+// Replay feeds every recovered record (stream name plus envelope) to
+// fn, snapshot first (one merged envelope per group), then the
+// surviving segments in order. It must run to completion before the
+// first Append; until it has, Append refuses with ErrNotReplayed.
 //
 // A damaged record mid-log stops replay cleanly at the last good
 // boundary (reported in ReplayStats, not as an error): everything
 // before the damage is restored, nothing after it is interpreted. An
 // error from fn or from the wal/replay failpoint aborts recovery —
 // the coordinator refuses to serve rather than serve partial state.
-func (l *Log) Replay(fn func(envelope []byte) error) (ReplayStats, error) {
+func (l *Log) Replay(fn func(stream string, envelope []byte) error) (ReplayStats, error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -123,7 +138,7 @@ func (l *Log) Replay(fn func(envelope []byte) error) (ReplayStats, error) {
 }
 
 // replayFile streams one snapshot or segment file through fn.
-func (l *Log) replayFile(path string, fn func(envelope []byte) error) (int64, error) {
+func (l *Log) replayFile(path string, fn func(stream string, envelope []byte) error) (int64, error) {
 	if err := failpoint.Inject(failpoint.WALReplay); err != nil {
 		return 0, fmt.Errorf("wal: replay %s: %w", filepath.Base(path), err)
 	}
@@ -137,9 +152,9 @@ func (l *Log) replayFile(path string, fn func(envelope []byte) error) (int64, er
 		return 0, fmt.Errorf("wal: replay %s: %w", filepath.Base(path), err)
 	}
 	defer f.Close()
-	records, _, derr := DecodeSegment(f, l.limit(), func(envelope []byte) error {
+	records, _, derr := DecodeSegment(f, l.limit(), func(stream string, envelope []byte) error {
 		l.replayedBytes.Add(int64(wire.HeaderSize + len(envelope)))
-		return fn(envelope)
+		return fn(stream, envelope)
 	})
 	return records, derr
 }

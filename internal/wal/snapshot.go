@@ -9,21 +9,32 @@ import (
 	"repro/internal/wire"
 )
 
-// Snapshot durably writes one merged envelope per group and prunes
+// Record is one WAL entry: a sketch envelope tagged with the stream
+// it belongs to. The default stream is "".
+type Record struct {
+	Stream   string
+	Envelope []byte
+}
+
+// Snapshot durably writes one merged record per group and prunes
 // every segment below cut, the active segment index at the moment the
 // caller collected that state (CurrentSegment). The caller guarantees
-// the envelopes cover every record in segments below cut — the
+// the records cover every record in segments below cut — the
 // server's seal barrier provides exactly that — while records still
 // in flight to the active segment survive in it and replay after the
 // snapshot, where idempotent joins absorb the overlap.
 //
-// The write is atomic: envelopes go to a temp file which is fsynced,
+// Default-stream records are written as plain MsgPush frames (the
+// pre-stream snapshot format, byte for byte); named records as
+// MsgPushNamed frames.
+//
+// The write is atomic: records go to a temp file which is fsynced,
 // renamed into place, and followed by a directory fsync. A crash at
 // any point leaves either the old recovery state (temp files and
 // stale snapshots are discarded at Open) or the new one — never a
 // half-snapshot that prunes what it does not cover, because the prune
 // happens strictly after the rename.
-func (l *Log) Snapshot(cut uint64, envelopes [][]byte) error {
+func (l *Log) Snapshot(cut uint64, records []Record) error {
 	if err := failpoint.Inject(failpoint.WALSnapshot); err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
@@ -47,8 +58,18 @@ func (l *Log) Snapshot(cut uint64, envelopes [][]byte) error {
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	for _, env := range envelopes {
-		if _, err := f.Write(wire.EncodeFrame(wire.MsgPush, env)); err != nil {
+	for _, rec := range records {
+		frame := wire.EncodeFrame(wire.MsgPush, rec.Envelope)
+		if rec.Stream != "" {
+			payload, perr := wire.EncodePushNamed(rec.Stream, rec.Envelope)
+			if perr != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("wal: snapshot write: %w", perr)
+			}
+			frame = wire.EncodeFrame(wire.MsgPushNamed, payload)
+		}
+		if _, err := f.Write(frame); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return fmt.Errorf("wal: snapshot write: %w", err)
@@ -74,7 +95,7 @@ func (l *Log) Snapshot(cut uint64, envelopes [][]byte) error {
 	prev := l.snapSeg.Load()
 	l.snapSeg.Store(cut)
 	l.snapshots.Add(1)
-	l.snapGroups.Store(int64(len(envelopes)))
+	l.snapGroups.Store(int64(len(records)))
 	if prev > 0 && prev != cut {
 		os.Remove(filepath.Join(l.dir, snapName(prev)))
 	}

@@ -352,7 +352,7 @@ func (l *Log) truncateTornTail(path string) error {
 	if err != nil {
 		return fmt.Errorf("wal: scanning tail: %w", err)
 	}
-	_, clean, derr := DecodeSegment(f, l.limit(), func([]byte) error { return nil })
+	_, clean, derr := DecodeSegment(f, l.limit(), func(string, []byte) error { return nil })
 	f.Close()
 	if derr == nil {
 		return nil
@@ -371,16 +371,35 @@ func (l *Log) truncateTornTail(path string) error {
 	return nil
 }
 
-// Append logs one accepted envelope, fsyncing per the sync policy and
-// rotating a full segment. The coordinator calls it after validating
-// a push and before merging or acking it: an error means the push
-// must be refused (transiently), because an un-logged merge would not
-// survive a crash the ack promised it would.
+// Append logs one accepted envelope for the default (unnamed)
+// stream, fsyncing per the sync policy and rotating a full segment.
+// The coordinator calls it after validating a push and before merging
+// or acking it: an error means the push must be refused (transiently),
+// because an un-logged merge would not survive a crash the ack
+// promised it would.
 func (l *Log) Append(envelope []byte) error {
+	return l.AppendNamed("", envelope)
+}
+
+// AppendNamed logs one accepted envelope for the given stream. The
+// default stream ("") is written as a plain MsgPush frame —
+// bit-identical to what every pre-stream log holds — so logs written
+// by old coordinators and new ones carrying only default-stream
+// traffic are interchangeable. Named records are MsgPushNamed frames.
+func (l *Log) AppendNamed(stream string, envelope []byte) error {
 	if err := failpoint.Inject(failpoint.WALAppend); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	frame := wire.EncodeFrame(wire.MsgPush, envelope)
+	var frame []byte
+	if stream == "" {
+		frame = wire.EncodeFrame(wire.MsgPush, envelope)
+	} else {
+		payload, err := wire.EncodePushNamed(stream, envelope)
+		if err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		frame = wire.EncodeFrame(wire.MsgPushNamed, payload)
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

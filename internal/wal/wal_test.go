@@ -46,7 +46,7 @@ func openReplayed(t *testing.T, dir string, opts wal.Options) *wal.Log {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Replay(func([]byte) error { return nil }); err != nil {
+	if _, err := l.Replay(func(string, []byte) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	return l
@@ -61,7 +61,7 @@ func collect(t *testing.T, dir string, opts wal.Options) (*wal.Log, [][]byte, wa
 		t.Fatal(err)
 	}
 	var got [][]byte
-	st, err := l.Replay(func(env []byte) error {
+	st, err := l.Replay(func(_ string, env []byte) error {
 		got = append(got, append([]byte(nil), env...))
 		return nil
 	})
@@ -160,7 +160,7 @@ func TestSnapshotPrunesAndReplays(t *testing.T) {
 	}
 	// Snapshot "merged state" standing in for the first four records.
 	cut := l.CurrentSegment()
-	if err := l.Snapshot(cut, envs[:4]); err != nil {
+	if err := l.Snapshot(cut, records(envs[:4])); err != nil {
 		t.Fatal(err)
 	}
 	st := l.Stats()
@@ -300,7 +300,7 @@ func TestCrashLeftoversCollectedAtOpen(t *testing.T) {
 		}
 	}
 	cut := l.CurrentSegment()
-	if err := l.Snapshot(cut, envs); err != nil {
+	if err := l.Snapshot(cut, records(envs)); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -339,7 +339,7 @@ func TestCrashLeftoversCollectedAtOpen(t *testing.T) {
 func TestReplayTwiceRefused(t *testing.T) {
 	l := openReplayed(t, t.TempDir(), wal.Options{})
 	defer l.Close()
-	if _, err := l.Replay(func([]byte) error { return nil }); err == nil {
+	if _, err := l.Replay(func(string, []byte) error { return nil }); err == nil {
 		t.Fatal("second Replay on the same Log was accepted")
 	}
 }
@@ -372,4 +372,13 @@ func onlySegment(t *testing.T, dir string) string {
 		t.Fatalf("want exactly one segment, got %v (err=%v)", matches, err)
 	}
 	return matches[0]
+}
+
+// records wraps plain envelopes as default-stream snapshot records.
+func records(envs [][]byte) []wal.Record {
+	out := make([]wal.Record, len(envs))
+	for i, env := range envs {
+		out[i] = wal.Record{Envelope: env}
+	}
+	return out
 }

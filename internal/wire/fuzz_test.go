@@ -16,6 +16,13 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(EncodeFrame(MsgPush, []byte("GT\x01sketch bytes")))
 	f.Add(EncodeFrame(MsgAck, Ack{Code: AckSeedMismatch, Detail: "seed 7"}.Encode()))
 	f.Add(AppendFrame(EncodeFrame(MsgQuery, Query{Kind: QueryDistinct, HasSeed: true, Seed: 42}.Encode()), MsgStats, nil))
+	if np, err := EncodePushNamed("clicks", []byte("GT\x01sketch bytes")); err == nil {
+		f.Add(EncodeFrame(MsgPushNamed, np))
+	}
+	if eqe, err := (ExprQuery{Expr: Jaccard(Union(Leaf("a"), Leaf("")), Leaf("b"))}).Encode(); err == nil {
+		f.Add(EncodeFrame(MsgQueryExpr, eqe))
+		f.Add(EncodeFrame(MsgQueryExpr, eqe[:len(eqe)-2]))
+	}
 	f.Add([]byte{})
 	f.Add([]byte{Magic0, Magic1, Version})
 	f.Add(EncodeFrame(MsgStats, nil)[:HeaderSize-1])
@@ -61,6 +68,34 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		case MsgQueryResult:
 			_, _ = DecodeQueryResult(payload)
+		case MsgPushNamed:
+			if stream, env, err := DecodePushNamed(payload); err == nil {
+				re, rerr := EncodePushNamed(stream, env)
+				if rerr != nil || !bytes.Equal(re, payload) {
+					t.Fatalf("named push does not round-trip (err=%v)", rerr)
+				}
+			}
+		case MsgQueryExpr:
+			if eq, err := DecodeExprQuery(payload); err == nil {
+				// Anything the decoder accepts is structurally valid and
+				// must re-encode to the identical bytes.
+				if verr := eq.Expr.Validate(); verr != nil {
+					t.Fatalf("decoded expression fails Validate: %v", verr)
+				}
+				re, rerr := eq.Encode()
+				if rerr != nil || !bytes.Equal(re, payload) {
+					t.Fatalf("expr query does not round-trip (err=%v)", rerr)
+				}
+				_ = eq.Expr.Leaves(nil)
+				_ = eq.Expr.String()
+			}
+		case MsgQueryExprResult:
+			if res, err := DecodeExprResult(payload); err == nil {
+				re, rerr := EncodeExprResult(res)
+				if rerr != nil || !bytes.Equal(re, payload) {
+					t.Fatalf("expr result does not round-trip (err=%v)", rerr)
+				}
+			}
 		}
 	})
 }

@@ -16,8 +16,44 @@ import (
 )
 
 func main() {
+	namedPush, err := wire.EncodePushNamed("clicks", []byte("GT\x01\x00\x00\x2a\x00\x00\x00\x00\x00\x00\x00\x10\x00\x00"))
+	if err != nil {
+		panic(err)
+	}
+	nested := wire.ExprQuery{HasSeed: true, Seed: 42,
+		Expr: wire.Diff(wire.Intersect(wire.Union(wire.Leaf("ads"), wire.Leaf("buys")), wire.Leaf("clicks")), wire.Leaf(""))}
+	nestedEnc, err := nested.Encode()
+	if err != nil {
+		panic(err)
+	}
+	// A left spine exactly MaxExprDepth deep — the deepest tree the
+	// codec accepts; one more level and decode must refuse.
+	deep := wire.Leaf("d")
+	for i := 1; i < wire.MaxExprDepth; i++ {
+		deep = wire.Union(deep, wire.Leaf("d"))
+	}
+	deepEnc, err := wire.ExprQuery{Expr: deep}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	resultEnc, err := wire.EncodeExprResult(&wire.ExprResult{
+		Op: wire.OpJaccard, Value: 0.25, ErrBound: 0.06,
+		Left:  &wire.ExprResult{Op: wire.OpLeaf, Stream: "ads", Value: 100, ErrBound: 0.03},
+		Right: &wire.ExprResult{Op: wire.OpLeaf, Stream: "", Value: 300, ErrBound: 0.03},
+	})
+	if err != nil {
+		panic(err)
+	}
+
 	seeds := map[string][]byte{
-		"push-sketch": wire.EncodeFrame(wire.MsgPush, []byte("GT\x01\x00\x00\x2a\x00\x00\x00\x00\x00\x00\x00\x10\x00\x00")),
+		"push-sketch":          wire.EncodeFrame(wire.MsgPush, []byte("GT\x01\x00\x00\x2a\x00\x00\x00\x00\x00\x00\x00\x10\x00\x00")),
+		"push-named":           wire.EncodeFrame(wire.MsgPushNamed, namedPush),
+		"query-expr-nested":    wire.EncodeFrame(wire.MsgQueryExpr, nestedEnc),
+		"query-expr-max-depth": wire.EncodeFrame(wire.MsgQueryExpr, deepEnc),
+		// A structurally valid frame whose expression payload is cut
+		// short: the frame decodes, the typed payload must refuse.
+		"query-expr-truncated": wire.EncodeFrame(wire.MsgQueryExpr, nestedEnc[:len(nestedEnc)-3]),
+		"query-expr-result":    wire.EncodeFrame(wire.MsgQueryExprResult, resultEnc),
 		"ack-seed-mismatch": wire.EncodeFrame(wire.MsgAck,
 			wire.Ack{Code: wire.AckSeedMismatch, Detail: "sketch seed 7, coordinator requires 42"}.Encode()),
 		"query-distinct": wire.EncodeFrame(wire.MsgQuery,

@@ -74,9 +74,37 @@ const (
 	MsgStats
 	// MsgStatsResult answers MsgStats; payload is JSON.
 	MsgStatsResult
+)
+
+// Minor-version-2 message types. Type 7 is the retired MsgOpaque slot
+// (see MsgPush), so this block starts at 8: a decoder from the
+// previous protocol generation rejects these as unknown types, which
+// is exactly the compatibility contract MinorVersion documents.
+const (
+	// MsgPushNamed carries a stream name plus a sketch envelope (see
+	// EncodePushNamed): the named-stream variant of MsgPush. A plain
+	// MsgPush is equivalent to a MsgPushNamed with the empty (default)
+	// stream name.
+	MsgPushNamed MsgType = iota + 8
+	// MsgQueryExpr requests a set-expression estimate; payload is an
+	// ExprQuery encoding (a QueryExpr AST plus group filters).
+	MsgQueryExpr
+	// MsgQueryExprResult answers MsgQueryExpr; payload is an ExprResult
+	// tree mirroring the query with per-node values and error bounds.
+	MsgQueryExprResult
 
 	maxMsgType
 )
+
+// MinorVersion is the protocol's minor revision. The frame header
+// still says Version 1 — every frame either side of minor 2 emits is
+// readable by a minor-1 peer or refused as an unknown message type,
+// never misparsed — and minor 2 adds named streams (MsgPushNamed) and
+// set-expression queries (MsgQueryExpr/MsgQueryExprResult). A minor-1
+// coordinator answers those frames with an AckError/AckBadFrame-class
+// refusal rather than junk, and unnamed pushes keep meaning "the
+// default stream" on both sides.
+const MinorVersion = 2
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -93,12 +121,22 @@ func (t MsgType) String() string {
 		return "stats"
 	case MsgStatsResult:
 		return "stats-result"
+	case MsgPushNamed:
+		return "push-named"
+	case MsgQueryExpr:
+		return "query-expr"
+	case MsgQueryExprResult:
+		return "query-expr-result"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
 
-func (t MsgType) valid() bool { return t >= MsgPush && t < maxMsgType }
+func (t MsgType) valid() bool {
+	// The gap between the two ranges is type 7, the retired MsgOpaque
+	// slot: a frame claiming it is junk, not a protocol generation.
+	return (t >= MsgPush && t <= MsgStatsResult) || (t >= MsgPushNamed && t < maxMsgType)
+}
 
 // Errors returned by the frame decoder. ErrVersion and ErrOversize are
 // distinct from ErrFrame so callers can give them protocol-level
