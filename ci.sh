@@ -8,9 +8,10 @@
 # unionlint (cmd/unionlint, see README "Static analysis") enforces the
 # invariants the compiler can't: coordinated seeding, documented mutex
 # guards, the %w error contract at the wire boundary, float comparison
-# hygiene, hot-path allocation budgets, and — via cross-package facts —
-# the registry/wire/determinism contracts (kindcheck, ackcontract,
-# mergepure, failpointcheck).
+# hygiene, and — via cross-package facts — the registry/wire/
+# determinism contracts (kindcheck, ackcontract, mergepure,
+# failpointcheck), plus interprocedural hot-path allocation budgets
+# (allocflow) cross-checked against testing.AllocsPerRun at runtime.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,6 +31,14 @@ echo "== lockorder golden suite =="
 # plus the .vetx two-run fact round-trip run first and by name: the
 # whole-module verdict below is only as good as these fixtures.
 go test -count=1 ./internal/analysis/lockorder
+
+echo "== allocflow golden suite =="
+# The allocation-flow analyzer's pinned scenarios (transitive summary
+# propagation, baseline gating, ceiling arithmetic) plus the vet-cache
+# fact round-trip run first and by name: the whole-module budget
+# verdict below is only as good as these fixtures.
+go test -count=1 -run 'TestAllocflow|TestBaselineGating|TestCeiling' ./internal/analysis/allocflow
+go test -count=1 -run 'TestAllocFlowFactsRoundTrip' ./internal/analysis/driver
 
 echo "== unionlint self-test (golden suites) =="
 # The linter's own analysistest suites run before the linter is trusted
@@ -57,17 +66,42 @@ if ! go vet -vettool="$UNIONLINT" ./... 2>"$UNIONLINT_OUT"; then
          "(// mergepure:seam for reviewed nondeterminism), failpointcheck" \
          "(declared failpoint sites), lockorder (deadlock/ordering/" \
          "blocking-while-locked over // guards: mutexes; reviewed waits" \
-         "take // lockorder:allow <reason>); see README 'Static analysis'."
+         "take // lockorder:allow <reason>), allocflow (// hotpath: roots" \
+         "budgeted against lint/allocflow.baseline; license steady-state" \
+         "growth with // allocflow:amortized <reason>, prune error paths" \
+         "with // allocflow:cold <reason>); see README 'Static analysis'."
     exit 1
 fi
 
-echo "== unionlint JSONL report (lint/report.jsonl) =="
+echo "== allocflow baseline freshness (lint/allocflow.baseline) =="
+# The committed baseline must match what the current tree generates:
+# a budget change without a regenerated baseline is invisible to the
+# vettool pass above (which gates against the committed file), so CI
+# regenerates to a scratch path and diffs modulo the comment header.
+ALLOCFLOW_TMP="$(mktemp)"
+REPORT_TMP=""
+trap 'rm -f "$UNIONLINT_OUT" "$ALLOCFLOW_TMP" "$REPORT_TMP"' EXIT
+"$UNIONLINT" -allocflow.update -allocflow.baseline="$ALLOCFLOW_TMP" ./... >/dev/null
+if ! diff -u <(grep -v '^#' lint/allocflow.baseline) <(grep -v '^#' "$ALLOCFLOW_TMP"); then
+    echo "ci.sh: lint/allocflow.baseline is stale; regenerate with:" \
+         "go run ./cmd/unionlint -allocflow.update ./..."
+    exit 1
+fi
+
+echo "== unionlint JSONL report freshness (lint/report.jsonl) =="
 # The full standalone run's machine-readable findings, tracked as a
 # trend artifact: a clean tree commits an empty file, and any future
 # findings show up in review as a diff of lint/report.jsonl. The
 # vettool gate above already failed on violations, so this run is
-# expected clean; -json exits 1 on findings, which still fails here.
-"$UNIONLINT" -json ./... > lint/report.jsonl
+# expected clean (-json exits 1 on findings, which still fails here),
+# and the committed artifact must match the regeneration byte for byte.
+REPORT_TMP="$(mktemp)"
+"$UNIONLINT" -json ./... > "$REPORT_TMP"
+if ! diff -u lint/report.jsonl "$REPORT_TMP"; then
+    echo "ci.sh: lint/report.jsonl is stale; regenerate with:" \
+         "go run ./cmd/unionlint -json ./... > lint/report.jsonl"
+    exit 1
+fi
 
 echo "== staticcheck (optional, pinned $STATICCHECK_VERSION) =="
 if [[ "${CI_INSTALL_TOOLS:-0}" == "1" ]] && ! command -v staticcheck >/dev/null; then
@@ -102,6 +136,14 @@ echo "== sketch conformance (all registered kinds, -race) =="
 # Already covered by the ./... run above, but named here so a failure
 # in a newly registered kind is unmistakable in the CI log.
 go test -race -run '^TestConformance$' -count=1 ./internal/sketch
+
+echo "== hot-path allocation cross-check (allocflow ceilings vs AllocsPerRun, -race) =="
+# The runtime anchor of the allocflow tentpole: every registered kind's
+# Process/Merge/decode/absorb path plus the WAL append is driven under
+# testing.AllocsPerRun and compared against the malloc ceiling its
+# summaries license (internal/allocgate). Already part of the ./... run
+# above, but named here so a budget breach is unmistakable in the log.
+go test -race -run '^TestHotPathAllocSummaries$' -count=1 ./internal/allocgate
 
 echo "== chaos suite (seeds 1..3) =="
 # The deterministic fault-injection suites (internal/failpoint +
@@ -198,8 +240,11 @@ fi
 
 # BENCH_absorb.json (repo root) is the checked-in coordinator-path
 # microbenchmark snapshot (absorb ns/op and MB/s, merge, envelope
-# decode, per kind). It is not gated here — timings are machine-
-# dependent — regenerate it on a quiet machine with:
+# decode, per kind, plus allocs_licensed/allocs_budget_ok comparing
+# observed absorb allocations to the allocflow ceiling). It is not
+# gated here — timings are machine-dependent, and the allocation gate
+# already runs above via internal/allocgate — regenerate it on a quiet
+# machine with:
 #   go run ./cmd/gtbench -bench BENCH_absorb.json
 # BENCH_wal.json is the same kind of snapshot for the durability layer
 # (append ns/op with and without fsync, replay MB/s):

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/analysis/allocbudget"
 	"repro/internal/hashing"
 	"repro/internal/server"
 	"repro/internal/sketch"
@@ -31,6 +32,12 @@ type benchKindResult struct {
 	AbsorbAllocs  float64 `json:"absorb_allocs_per_op"`
 	MergeNsPerOp  float64 `json:"merge_ns_per_op"`
 	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
+	// AllocsLicensed is the absorb path's malloc ceiling from the
+	// allocflow summaries (internal/analysis/allocbudget), -1 when the
+	// path is statically unbounded (window: merge rebuilds per-level
+	// samples). AllocsBudgetOK reports observed ≤ licensed.
+	AllocsLicensed int  `json:"allocs_licensed"`
+	AllocsBudgetOK bool `json:"allocs_budget_ok"`
 }
 
 // benchReport is the BENCH_absorb.json layout.
@@ -68,10 +75,18 @@ func benchSiteEnvelopes(info sketch.KindInfo, nsites int) ([][]byte, error) {
 func runBench(path string) error {
 	report := benchReport{
 		Tool:   "gtbench -bench",
-		Note:   "coordinator absorb path, raw sketch merge, and envelope decode per registered kind; regenerate with: go run ./cmd/gtbench -bench BENCH_absorb.json",
+		Note:   "coordinator absorb path, raw sketch merge, and envelope decode per registered kind; allocs_licensed is the allocflow absorb ceiling (-1 = statically unbounded) and allocs_budget_ok reports observed <= licensed; regenerate with: go run ./cmd/gtbench -bench BENCH_absorb.json",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
+	}
+	// Harvest the allocflow summaries once so every kind's absorb
+	// figure is judged against its licensed malloc ceiling.
+	budgets, err := allocbudget.Load(".",
+		"./internal/server", "./internal/sketch/...", "./internal/core",
+		"./internal/exact", "./internal/window")
+	if err != nil {
+		return fmt.Errorf("harvesting allocflow summaries: %w", err)
 	}
 	for _, info := range sketch.Kinds() {
 		msgs, err := benchSiteEnvelopes(info, 8)
@@ -120,6 +135,13 @@ func runBench(path string) error {
 			AbsorbAllocs:  float64(absorb.AllocsPerOp()),
 			MergeNsPerOp:  float64(merge.NsPerOp()),
 			DecodeNsPerOp: float64(decode.NsPerOp()),
+		}
+		row.AllocsLicensed = -1
+		if p, ok := allocbudget.AbsorbPath(info.Name); ok {
+			if res := budgets.Eval(p); res.Bounded {
+				row.AllocsLicensed = res.Ceiling
+				row.AllocsBudgetOK = row.AbsorbAllocs <= float64(res.Ceiling)
+			}
 		}
 		if secs := absorb.T.Seconds(); secs > 0 {
 			row.AbsorbMBPerS = float64(absorb.Bytes) * float64(absorb.N) / 1e6 / secs

@@ -1,7 +1,7 @@
 // Command unionlint is the repository's static-analysis suite: ten
 // analyzers encoding the invariants the coordinated-sampling scheme
 // depends on (seedcheck, lockcheck, lockorder, floatcmp, errcontract,
-// hotpathalloc, kindcheck, mergepure, ackcontract, failpointcheck —
+// allocflow, kindcheck, mergepure, ackcontract, failpointcheck —
 // see `unionlint -help` or README "Static analysis").
 //
 // It runs in two modes:
@@ -18,9 +18,9 @@
 // way) and prints findings grouped per analyzer. Standalone-only
 // flags: -fix applies the mechanical suggested fixes (errcontract's
 // %w rewrites); -json emits one JSON object per diagnostic for CI
-// artifacts; -hotpathalloc.update regenerates the allocation baseline
-// (lint/hotpathalloc.baseline); -summarize regroups vet-mode output
-// read from stdin.
+// artifacts; -allocflow.update regenerates the allocation-budget
+// baseline (lint/allocflow.baseline); -summarize regroups vet-mode
+// output read from stdin.
 package main
 
 import (
@@ -59,7 +59,10 @@ func run(argv []string) int {
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree (standalone mode)")
 	jsonOut := fs.Bool("json", false, "print findings as JSON Lines (one diagnostic per line) instead of the grouped summary")
 	summarize := fs.Bool("summarize", false, "read vet-mode diagnostics from stdin and print a per-analyzer summary")
-	update := fs.Bool("hotpathalloc.update", false, "regenerate lint/hotpathalloc.baseline from the current tree (alias for -hotpathalloc.write=1)")
+	update := fs.Bool("allocflow.update", false, "regenerate lint/allocflow.baseline from the current tree (alias for -allocflow.write=1)")
+	// hotpathalloc was superseded by allocflow (PR 10); keep its update
+	// flag as a signpost instead of a silent unknown-flag error.
+	retired := fs.Bool("hotpathalloc.update", false, "retired: hotpathalloc was superseded by allocflow; use -allocflow.update")
 	verbose := fs.Bool("v", false, "also list analyzers that found nothing")
 	var flagVals []*string
 	var flagRefs []*analysis.Flag
@@ -105,10 +108,14 @@ func run(argv []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *retired {
+		fmt.Fprintf(os.Stderr, "%s: -hotpathalloc.update is retired: the intra-function scan was superseded by the interprocedural allocflow analyzer; run -allocflow.update to regenerate lint/allocflow.baseline\n", progname)
+		return 2
+	}
 	if *update {
-		// -hotpathalloc.update is the documented way to regenerate the
+		// -allocflow.update is the documented way to regenerate the
 		// baseline; it simply arms the analyzer's write flag.
-		if w := lookupFlag(analyzers, "hotpathalloc", "write"); w != nil {
+		if w := lookupFlag(analyzers, "allocflow", "write"); w != nil {
 			w.Value = "1"
 		}
 	}
@@ -148,7 +155,7 @@ func run(argv []string) int {
 		return 0
 	}
 	if *update {
-		fmt.Printf("%s: regenerated hotpathalloc baseline\n", progname)
+		fmt.Printf("%s: regenerated allocflow baseline\n", progname)
 	}
 	if *jsonOut {
 		if err := driver.PrintJSON(os.Stdout, findings); err != nil {
@@ -184,21 +191,21 @@ func lookupFlag(analyzers []*analysis.Analyzer, analyzer, name string) *analysis
 	return nil
 }
 
-// prepareBaselineWrite truncates the hotpathalloc baseline before a
-// -hotpathalloc.update / -hotpathalloc.write sweep (each package pass
+// prepareBaselineWrite truncates the allocflow baseline before an
+// -allocflow.update / -allocflow.write sweep (each package pass
 // appends to it), filling in the default module path when the flag is
 // unset.
 func prepareBaselineWrite(analyzers []*analysis.Analyzer) error {
-	var hp *analysis.Analyzer
+	var af *analysis.Analyzer
 	for _, a := range analyzers {
-		if a.Name == "hotpathalloc" {
-			hp = a
+		if a.Name == "allocflow" {
+			af = a
 		}
 	}
-	if hp == nil {
+	if af == nil {
 		return nil
 	}
-	w, b := hp.Lookup("write"), hp.Lookup("baseline")
+	w, b := af.Lookup("write"), af.Lookup("baseline")
 	if w == nil || b == nil || (w.Value != "1" && w.Value != "true") {
 		return nil
 	}
@@ -207,15 +214,15 @@ func prepareBaselineWrite(analyzers []*analysis.Analyzer) error {
 		if err != nil {
 			return err
 		}
-		b.Value = filepath.Join(root, "lint", "hotpathalloc.baseline")
+		b.Value = filepath.Join(root, "lint", "allocflow.baseline")
 	}
 	if err := os.MkdirAll(filepath.Dir(b.Value), 0o755); err != nil {
 		return err
 	}
-	header := "# hotpathalloc baseline: accepted allocation sites in hotpath functions.\n" +
-		"# One \"pkg<TAB>func<TAB>kind<TAB>count\" line per bucket.\n" +
-		"# Do not edit by hand; regenerate with:\n" +
-		"#   go run ./cmd/unionlint -hotpathalloc.update ./...\n"
+	header := "# allocflow baseline: accepted transitive allocation budgets for hotpath roots.\n" +
+		"# One \"root<TAB>owner<TAB>kind<TAB>count\" line per bucket (kind calls-unknown\n" +
+		"# counts dynamic calls the analyzer cannot bound). Do not edit by hand; regenerate with:\n" +
+		"#   go run ./cmd/unionlint -allocflow.update ./...\n"
 	return os.WriteFile(b.Value, []byte(header), 0o644)
 }
 

@@ -1,0 +1,11 @@
+// Package allocgate closes the loop between allocflow's static
+// allocation summaries and the runtime: its test harvests the
+// analyzer's AllocSummary facts through internal/analysis/allocbudget
+// and drives every per-kind hot path — Process, Merge, envelope
+// decode, the coordinator's absorb, the WAL append — under
+// testing.AllocsPerRun, failing if observed allocations exceed what
+// the summaries license. The static side anchors the benches (a
+// summary gone unbounded is caught before a bench regresses); the
+// runtime side anchors the static side (a summary that under-counts
+// real allocations fails here, not silently).
+package allocgate

@@ -1,0 +1,80 @@
+package allocflow_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/allocflow"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAllocflow pins the analyzer's four golden scenarios: transitive
+// allocation through cross-package callees (xhelp → xhot, through
+// AllocSummary facts only), the annotation grammar (reasoned
+// amortized/cold suppress, bare ones are findings), calls-unknown
+// tainting (interface methods and func values), and the migrated
+// hotpathalloc single-function kinds (hot).
+func TestAllocflow(t *testing.T) {
+	analysistest.Run(t, testdata(t), allocflow.Analyzer,
+		"allocflow/xhelp",
+		"allocflow/xhot",
+		"allocflow/ann",
+		"allocflow/iface",
+		"hot",
+	)
+}
+
+// TestBaselineGating checks that baselined buckets suppress exactly
+// their budget: hotbase's composite and append are accepted, and one
+// of its two makes is — the bucket exceeding its count is reported
+// once, at its first site.
+func TestBaselineGating(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline")
+	content := "# test baseline\n" +
+		"hotbase.Sketch.Process\thotbase.Sketch.Process\tcomposite\t1\n" +
+		"hotbase.Sketch.Process\thotbase.Sketch.Process\tappend\t1\n" +
+		"hotbase.Sketch.Process\thotbase.Sketch.Process\tmake\t1\n"
+	if err := os.WriteFile(baseline, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := allocflow.Analyzer.Lookup("baseline")
+	old := f.Value
+	f.Value = baseline
+	defer func() { f.Value = old }()
+	analysistest.Run(t, testdata(t), allocflow.Analyzer, "hotbase")
+}
+
+// TestCeiling pins the malloc-weight arithmetic the runtime gate
+// relies on: amortized sites count, looped non-amortized sites and
+// unknowns make the summary unbounded.
+func TestCeiling(t *testing.T) {
+	sum := &allocflow.AllocSummary{
+		Sites: []allocflow.AllocSite{
+			{Owner: "p.F", Kind: "append", Count: 2, Looped: true, Amortized: true},
+			{Owner: "p.F", Kind: "new", Count: 1},
+		},
+	}
+	mallocs, bounded := sum.Ceiling()
+	if want := 2*allocflow.SiteWeight("append") + 1*allocflow.SiteWeight("new"); mallocs != want || !bounded {
+		t.Fatalf("Ceiling() = %d, %v; want %d, true", mallocs, bounded, want)
+	}
+	sum.Sites[0].Amortized = false
+	if _, bounded := sum.Ceiling(); bounded {
+		t.Fatal("looped non-amortized site must be unbounded")
+	}
+	sum.Sites[0].Amortized = true
+	sum.Unknown = []allocflow.DynCall{{Owner: "p.F", Desc: "interface call (p.I).M", Count: 1}}
+	if _, bounded := sum.Ceiling(); bounded {
+		t.Fatal("unknown call must be unbounded")
+	}
+}
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

@@ -1,0 +1,28 @@
+// Package iface exercises calls-unknown tainting: interface method
+// calls and func-value calls cannot be bounded statically.
+package iface
+
+// Encoder is a stand-in for sketch.Sketch-style interfaces.
+type Encoder interface {
+	Encode() []byte
+}
+
+// Hot drives an Encoder per item.
+type Hot struct {
+	e    Encoder
+	hook func()
+}
+
+// Emit calls through the interface: unbounded.
+//
+// hotpath: called once per stream item.
+func (h *Hot) Emit() []byte {
+	return h.e.Encode() // want "1 unbounded dynamic call"
+}
+
+// Fire calls through a func value: unbounded.
+//
+// hotpath: called once per stream item.
+func (h *Hot) Fire() {
+	h.hook() // want "1 unbounded dynamic call"
+}

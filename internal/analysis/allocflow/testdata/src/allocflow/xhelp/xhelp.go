@@ -1,0 +1,28 @@
+// Package xhelp is the cross-package callee side of the allocflow
+// goldens: it has no hotpath annotations, so it produces no findings
+// of its own — only AllocSummary facts for xhot to inherit.
+package xhelp
+
+// Grow appends one element; its append site must taint callers.
+func Grow(buf []uint64, v uint64) []uint64 {
+	return append(buf, v)
+}
+
+// Pair is a small allocated record.
+type Pair struct{ A, B uint64 }
+
+// NewPair allocates; its composite site must taint callers.
+func NewPair(a, b uint64) *Pair {
+	return &Pair{A: a, B: b}
+}
+
+// Marshaler is an interface whose calls cannot be bounded.
+type Marshaler interface {
+	M() []byte
+}
+
+// Call invokes the interface method: a calls-unknown taint that must
+// flow to hot callers through the fact.
+func Call(m Marshaler) []byte {
+	return m.M()
+}

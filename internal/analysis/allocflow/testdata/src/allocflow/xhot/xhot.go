@@ -1,0 +1,40 @@
+// Package xhot is the hot side of the cross-package allocflow
+// goldens: every allocation it is charged with lives one or two calls
+// away, in package xhelp, and reaches it only through AllocSummary
+// facts.
+package xhot
+
+import "allocflow/xhelp"
+
+// Sketch is a miniature hot-path consumer.
+type Sketch struct {
+	buf []uint64
+}
+
+// Process inherits xhelp.Grow's append site.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Process(label uint64) {
+	s.buf = xhelp.Grow(s.buf, label) // want "1 append site.* in allocflow/xhelp.Grow"
+}
+
+// record is a local hop: not hot itself, but its inherited composite
+// must flow onward to Observe.
+func (s *Sketch) record(l uint64) *xhelp.Pair {
+	return xhelp.NewPair(l, l)
+}
+
+// Observe inherits xhelp.NewPair's composite through two hops.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Observe(label uint64) *xhelp.Pair {
+	return s.record(label) // want "1 composite site.* in allocflow/xhelp.NewPair"
+}
+
+// Pack inherits xhelp.Call's interface-call taint: the dynamic call is
+// unbounded and must surface here as calls-unknown.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Pack(m xhelp.Marshaler) []byte {
+	return xhelp.Call(m) // want "1 unbounded dynamic call.* in allocflow/xhelp.Call"
+}

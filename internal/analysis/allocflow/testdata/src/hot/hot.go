@@ -1,0 +1,52 @@
+// Package hot is the golden package migrated from hotpathalloc: the
+// single-function allocation kinds, now reported as aggregated
+// (owner, kind) buckets. Its files live under testdata, so baseline
+// auto-discovery is disabled and every bucket in a hotpath function is
+// over budget.
+package hot
+
+type entry struct{ w uint64 }
+
+// Sketch is a miniature of the real samplers.
+type Sketch struct {
+	entries map[uint64]entry
+	buf     []uint64
+}
+
+// Process observes one item.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Process(label uint64) {
+	s.entries[label] = entry{w: 1} // want "1 composite site"
+	s.buf = append(s.buf, label)   // want "1 append site"
+	tmp := make([]uint64, 1)       // want "1 make site"
+	tmp[0] = label
+	p := new(entry) // want "1 new site"
+	_ = p
+}
+
+// Each visits retained items: the closure is a site, and the calls
+// through func values (g here, f inside the literal) aggregate into
+// one calls-unknown bucket at the first dynamic call.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Each(f func(uint64)) {
+	g := func(x uint64) { f(x) } // want "1 closure site" "2 unbounded dynamic call"
+	for l := range s.entries {
+		g(l)
+	}
+}
+
+// Reset is a cold path: allocations are fine without annotation.
+func (s *Sketch) Reset() {
+	s.entries = map[uint64]entry{}
+	s.buf = make([]uint64, 0, 16)
+}
+
+// Lookup is hot but allocation-free: fine.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Lookup(label uint64) bool {
+	_, ok := s.entries[label]
+	return ok
+}

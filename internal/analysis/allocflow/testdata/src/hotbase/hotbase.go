@@ -1,6 +1,8 @@
 // Package hotbase has exactly one allocation per kind in its hotpath,
 // all accepted by the baseline TestBaselineGating supplies — so no
-// diagnostics are expected — plus one kind exceeding its budget.
+// diagnostics are expected — plus one kind exceeding its budget. The
+// over-budget bucket is reported once, at its first site (buckets
+// aggregate; line numbers are not part of the key).
 package hotbase
 
 type entry struct{ w uint64 }
@@ -18,7 +20,7 @@ type Sketch struct {
 func (s *Sketch) Process(label uint64) {
 	s.entries[label] = entry{w: 1}
 	s.buf = append(s.buf, label)
-	a := make([]uint64, 1) // want "make call"
-	b := make([]uint64, 1) // want "make call"
+	a := make([]uint64, 1) // want "2 make site"
+	b := make([]uint64, 1)
 	a[0], b[0] = label, label
 }

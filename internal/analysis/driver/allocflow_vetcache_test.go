@@ -1,0 +1,86 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocFlowFactsRoundTrip proves allocflow's AllocSummary facts
+// survive go's vet cache: a temp module has a helper package whose
+// only allocation is an append, and a hot package whose `// hotpath:`
+// function reaches it transitively. The finding exists only because
+// the helper's AllocSummary fact crosses the package boundary. The
+// second run re-analyzes only the (touched) hot package, so the
+// helper's summary must come back out of the cached .vetx file — the
+// finding surviving that run is the round trip.
+func TestAllocFlowFactsRoundTrip(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "unionlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/unionlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building unionlint: %v\n%s", err, out)
+	}
+
+	tmod := t.TempDir()
+	writeTree(t, tmod, map[string]string{
+		"go.mod": "module tmod\n\ngo 1.22\n",
+		"help/help.go": `// Package help allocates on behalf of its callers.
+package help
+
+// Grow appends one value.
+func Grow(dst []uint64, v uint64) []uint64 {
+	return append(dst, v)
+}
+`,
+		"hot/hot.go": `// Package hot has a hotpath root that allocates only
+// through its dependency.
+package hot
+
+import "tmod/help"
+
+// Sketch is a miniature sampler.
+type Sketch struct{ buf []uint64 }
+
+// Process observes one item.
+//
+// hotpath: called once per stream item.
+func (s *Sketch) Process(v uint64) {
+	s.buf = help.Grow(s.buf, v)
+}
+`,
+	})
+
+	vet := func() string {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = tmod
+		out, _ := cmd.CombinedOutput()
+		return string(out)
+	}
+
+	const finding = "1 append site(s) in tmod/help.Grow"
+	out1 := vet()
+	if !strings.Contains(out1, finding) {
+		t.Fatalf("first vet run: transitive allocation not reported\noutput:\n%s", out1)
+	}
+	// Rewrite only the hot package: help's vet action is now a cache
+	// hit, so its AllocSummary must round-trip through the .vetx file.
+	hot := filepath.Join(tmod, "hot", "hot.go")
+	src, err := os.ReadFile(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(hot, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2 := vet()
+	if !strings.Contains(out2, finding) {
+		t.Fatalf("second vet run: finding lost after cache round-trip\noutput:\n%s", out2)
+	}
+}

@@ -104,12 +104,15 @@ func (e *Estimator) ProcessWeighted(label, value uint64) {
 func (e *Estimator) Merge(o sketch.Sketch) error {
 	other, ok := o.(*Estimator)
 	if !ok {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: cannot merge %T into *core.Estimator", ErrMismatch, o)
 	}
 	if other == nil {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: nil estimator", ErrMismatch)
 	}
 	if e.cfg != other.cfg {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: estimator configs %+v vs %+v", ErrMismatch, e.cfg, other.cfg)
 	}
 	// Validate every pair first so a failed merge cannot leave e
@@ -117,6 +120,7 @@ func (e *Estimator) Merge(o sketch.Sketch) error {
 	for i := range e.copies {
 		a, b := e.copies[i], other.copies[i]
 		if a.cfg.Seed != b.cfg.Seed {
+			// allocflow:cold a mismatched merge is refused, not streamed
 			return fmt.Errorf("%w: copy %d seed divergence", ErrMismatch, i)
 		}
 	}

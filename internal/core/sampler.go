@@ -126,6 +126,7 @@ func (s *Sampler) ProcessWeighted(label, value uint64) {
 	if _, ok := s.entries[label]; ok {
 		return // duplicate of a retained label
 	}
+	// allocflow:amortized map growth is amortized; Len stays ≤ Capacity between raises
 	s.entries[label] = entry{weight: value, level: int32(lvl)}
 	s.weightSum += value
 	if len(s.entries) > s.cfg.Capacity {
@@ -194,9 +195,11 @@ func (s *Sampler) raiseJump() {
 // The raise policy may differ (it does not affect semantics).
 func (s *Sampler) Merge(other *Sampler) error {
 	if other == nil {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: nil sampler", ErrMismatch)
 	}
 	if s.cfg.Seed != other.cfg.Seed || s.cfg.Capacity != other.cfg.Capacity || s.cfg.Family != other.cfg.Family {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: %+v vs %+v", ErrMismatch, s.describe(), other.describe())
 	}
 	if other.level > s.level {

@@ -50,9 +50,11 @@ func NewSumSampler(cfg Config, maxValue uint64) *SumSampler {
 // hotpath: called once per stream item.
 func (s *SumSampler) Process(label, value uint64) error {
 	if value > s.maxValue {
+		// allocflow:cold out-of-range input is rejected, not streamed
 		return fmt.Errorf("core: value %d exceeds SumSampler bound %d", value, s.maxValue)
 	}
 	if label > MaxSumLabel {
+		// allocflow:cold out-of-range input is rejected, not streamed
 		return fmt.Errorf("core: label %d exceeds SumSampler label space", label)
 	}
 	for j := uint64(1); j <= value; j++ {

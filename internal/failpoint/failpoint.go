@@ -121,6 +121,7 @@ func Inject(name string) error {
 	if reg.armed.Load() == 0 {
 		return nil
 	}
+	// allocflow:cold the slow path is armed only in chaos runs
 	return inject(name)
 }
 

@@ -104,6 +104,7 @@ func (s *Sketch) Estimate() float64 {
 func (s *Sketch) Merge(o sketch.Sketch) error {
 	other, ok := o.(*Sketch)
 	if !ok {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: cannot merge %T into *bjkst.Sketch", ErrMismatch, o)
 	}
 	if other == nil || s.capacity != other.capacity || s.seed != other.seed {

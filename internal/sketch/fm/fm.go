@@ -105,6 +105,7 @@ func (s *Sketch) Estimate() float64 {
 func (s *Sketch) Merge(o sketch.Sketch) error {
 	other, ok := o.(*Sketch)
 	if !ok {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: cannot merge %T into *fm.Sketch", ErrMismatch, o)
 	}
 	if other == nil || s.numMaps != other.numMaps || s.seed != other.seed || s.weak != other.weak {

@@ -68,6 +68,7 @@ func (s *Sketch) insert(v uint64) {
 	}
 	if len(s.heap) < s.k {
 		s.members[v] = struct{}{}
+		// allocflow:amortized heap grows to k once, then replaces in place
 		s.heap = append(s.heap, v)
 		s.siftUp(len(s.heap) - 1)
 		return
@@ -127,6 +128,7 @@ func (s *Sketch) Estimate() float64 {
 func (s *Sketch) Merge(o sketch.Sketch) error {
 	other, ok := o.(*Sketch)
 	if !ok {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: cannot merge %T into *kmv.Sketch", ErrMismatch, o)
 	}
 	if other == nil || s.k != other.k || s.seed != other.seed {

@@ -118,6 +118,7 @@ func alpha(m int) float64 {
 func (s *Sketch) Merge(o sketch.Sketch) error {
 	other, ok := o.(*Sketch)
 	if !ok {
+		// allocflow:cold a mismatched merge is refused, not streamed
 		return fmt.Errorf("%w: cannot merge %T into *ll.Sketch", ErrMismatch, o)
 	}
 	if other == nil || s.numRegs != other.numRegs || s.seed != other.seed || s.weak != other.weak {

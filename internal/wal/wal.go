@@ -386,8 +386,11 @@ func (l *Log) Append(envelope []byte) error {
 // bit-identical to what every pre-stream log holds — so logs written
 // by old coordinators and new ones carrying only default-stream
 // traffic are interchangeable. Named records are MsgPushNamed frames.
+//
+// hotpath: called once per accepted push when the WAL is armed.
 func (l *Log) AppendNamed(stream string, envelope []byte) error {
 	if err := failpoint.Inject(failpoint.WALAppend); err != nil {
+		// allocflow:cold a chaos-armed append failure refuses the push
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	var frame []byte
@@ -396,6 +399,7 @@ func (l *Log) AppendNamed(stream string, envelope []byte) error {
 	} else {
 		payload, err := wire.EncodePushNamed(stream, envelope)
 		if err != nil {
+			// allocflow:cold a bad stream name refuses the append outright
 			return fmt.Errorf("wal: append: %w", err)
 		}
 		frame = wire.EncodeFrame(wire.MsgPushNamed, payload)
@@ -410,6 +414,7 @@ func (l *Log) AppendNamed(stream string, envelope []byte) error {
 		return ErrNotReplayed
 	}
 	if _, err := l.f.Write(frame); err != nil {
+		// allocflow:cold a failed write refuses the push; not the streaming path
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.segBytes += int64(len(frame))
@@ -417,9 +422,11 @@ func (l *Log) AppendNamed(stream string, envelope []byte) error {
 	l.appendedBytes.Add(int64(len(frame)))
 	if l.opts.Sync == SyncAlways {
 		if err := failpoint.Inject(failpoint.WALFsync); err != nil {
+			// allocflow:cold a chaos-armed fsync failure refuses the push
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		if err := l.f.Sync(); err != nil {
+			// allocflow:cold a failed fsync refuses the push; not the streaming path
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.fsyncs.Add(1)
@@ -428,6 +435,7 @@ func (l *Log) AppendNamed(stream string, envelope []byte) error {
 		// Rotation failure is not an append failure: the record above
 		// is already durable, so a failed rotation just leaves an
 		// oversized segment for the next append to retry.
+		// allocflow:cold rotation runs once per SegmentBytes of appends
 		_ = l.rotateLocked()
 	}
 	return nil
